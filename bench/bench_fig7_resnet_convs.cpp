@@ -1,0 +1,71 @@
+// Fig. 7: the 20 ResNet-50 convolution shapes — PARLOOPER/TPP direct
+// convolution vs the im2col+GEMM library substitute. The paper reports
+// geomean wins of 1.12x-1.75x depending on platform.
+#include "baselines/ref_conv.hpp"
+#include "bench/bench_util.hpp"
+#include "dl/resnet.hpp"
+#include "kernels/conv_kernel.hpp"
+
+using namespace plt;
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const std::int64_t N = 1;  // ADL-style single-image inference by default
+  const std::int64_t spatial_div = full ? 1 : 2;  // shrink H/W when scaled
+
+  bench::print_header("Fig. 7 — ResNet-50 convolution shapes (fp32, MB=1)");
+  std::printf("%-3s %-26s %12s %12s %9s\n", "ID", "CxK HxW RxS/str",
+              "PARLOOPER", "im2col-sub", "speedup");
+
+  std::vector<double> speedups;
+  for (const dl::Fig7ConvShape& s : dl::fig7_conv_shapes()) {
+    const std::int64_t H = std::max<std::int64_t>(7, s.H / spatial_div);
+    const std::int64_t W = std::max<std::int64_t>(7, s.W / spatial_div);
+    kernels::ConvConfig cfg;
+    cfg.N = N;
+    cfg.C = s.C;
+    cfg.K = s.K;
+    cfg.H = H;
+    cfg.W = W;
+    cfg.R = s.R;
+    cfg.S = s.S;
+    cfg.stride_h = cfg.stride_w = s.stride;
+    cfg.pad_h = cfg.pad_w = s.pad;
+    cfg.bc = cfg.bk = 32;
+    kernels::ConvKernel kernel(cfg);
+
+    Xoshiro256 rng(1);
+    std::vector<float> input(static_cast<std::size_t>(N * s.C * H * W));
+    std::vector<float> weights(static_cast<std::size_t>(s.K * s.C * s.R * s.S));
+    fill_uniform(input.data(), input.size(), rng, -0.5f, 0.5f);
+    fill_uniform(weights.data(), weights.size(), rng, -0.1f, 0.1f);
+
+    AlignedBuffer<std::uint8_t> in_b(kernel.input_elems() * 4);
+    AlignedBuffer<std::uint8_t> w_b(kernel.weight_elems() * 4);
+    AlignedBuffer<std::uint8_t> out_b(kernel.output_elems() * 4);
+    kernel.pack_input(input.data(), in_b.data());
+    kernel.pack_weights(weights.data(), w_b.data());
+    const double ours_s = time_best_seconds(
+        [&] { kernel.run(in_b.data(), w_b.data(), out_b.data()); }, 1, 2);
+    const double ours_gf = gflops(kernel.flops(), ours_s);
+
+    baselines::ConvShape shape{N, s.C, s.K, H, W, s.R, s.S,
+                               s.stride, s.stride, s.pad, s.pad};
+    std::vector<float> out(static_cast<std::size_t>(N * s.K * shape.P() * shape.Q()));
+    const double base_s = time_best_seconds(
+        [&] { baselines::im2col_conv(shape, input.data(), weights.data(), out.data()); },
+        0, 1);
+    const double base_gf = gflops(shape.flops(), base_s);
+
+    speedups.push_back(ours_gf / base_gf);
+    std::printf("%-3d %4ldx%-4ld %3ldx%-3ld %ldx%ld/%ld  %12.2f %12.2f %8.2fx\n",
+                s.layer_id, static_cast<long>(s.C), static_cast<long>(s.K),
+                static_cast<long>(H), static_cast<long>(W),
+                static_cast<long>(s.R), static_cast<long>(s.S),
+                static_cast<long>(s.stride), ours_gf, base_gf,
+                ours_gf / base_gf);
+  }
+  std::printf("geomean speedup: %.2fx (paper: 1.12x-1.75x per platform)\n",
+              bench::geomean(speedups));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 8: BF16 Block-SpMM effective GFLOPS vs sparsity, per block size, with
+// the dense GEMM rate as the baseline. Expected shape (paper): large blocks
+// beat dense even at modest sparsity; small blocks need high sparsity (their
+// short accumulation chains underuse the wide dot-product hardware), and the
+// max speedup approaches 1/(1-sparsity).
+#include "bench/bench_util.hpp"
+#include "kernels/spmm_kernel.hpp"
+
+using namespace plt;
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const std::int64_t n = full ? 2048 : 512;
+
+  // Dense baseline at the same shape/precision.
+  kernels::GemmConfig dense;
+  dense.M = dense.N = dense.K = n;
+  dense.bm = dense.bn = dense.bk = 32;
+  dense.k_step = n / 32;
+  dense.dtype = DType::BF16;
+  const double dense_gf = bench::run_gemm(dense, 1, 2).gflops;
+
+  bench::print_header(
+      ("Fig. 8 — BF16 Block-SpMM, " + std::to_string(n) + "^3 (effective "
+       "GFLOPS; dense baseline " + std::to_string(dense_gf) + ")")
+          .c_str());
+  std::printf("%-10s", "sparsity");
+  for (std::int64_t b : {4, 8, 16, 32}) std::printf(" %8ldx%-4ld", static_cast<long>(b), static_cast<long>(b));
+  std::printf(" %10s\n", "dense");
+
+  for (int pct = 0; pct <= 90; pct += full ? 10 : 30) {
+    const double sparsity = pct / 100.0;
+    std::printf("%8d%%  ", pct);
+    for (std::int64_t b : {4, 8, 16, 32}) {
+      Xoshiro256 rng(100 + pct + b);
+      tpp::BcscMatrix a =
+          tpp::BcscMatrix::random(n, n, b, b, DType::BF16, sparsity, rng);
+      kernels::SpmmConfig cfg;
+      cfg.M = cfg.N = cfg.K = n;
+      cfg.bm = cfg.bk = b;
+      cfg.bn = 32;
+      cfg.dtype = DType::BF16;
+      kernels::SpmmKernel kernel(cfg);
+      std::vector<bf16> bmat(static_cast<std::size_t>(n * n));
+      for (auto& v : bmat) v = bf16::from_f32(rng.uniform(-0.5f, 0.5f));
+      std::vector<float> c(static_cast<std::size_t>(n * n));
+      const double s = time_best_seconds(
+          [&] { kernel.run(a, bmat.data(), c.data()); }, 1, 2);
+      // "Effective" GFLOPS credit the dense-equivalent work, as the paper's
+      // log-scale axis does.
+      std::printf(" %12.2f", gflops(kernel.dense_flops(), s));
+    }
+    std::printf(" %10.2f\n", dense_gf);
+  }
+  std::printf("\nexpected shape: crossover vs dense at modest sparsity for "
+              "large blocks, higher sparsity for 4x4; max speedup ~1/(1-s).\n");
+  return 0;
+}

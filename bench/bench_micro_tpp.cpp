@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks for the TPP backend itself: BRGEMM at
+// the microkernel tile sizes the kernels use, elementwise TPPs, softmax and
+// layernorm equations, and the VNNI pack transform.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "tpp/brgemm.hpp"
+#include "tpp/equations.hpp"
+#include "tpp/transforms.hpp"
+#include "tpp/unary.hpp"
+
+namespace {
+
+using namespace plt;
+
+void BM_BrgemmF32(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  const std::int64_t count = 8;
+  std::vector<float> a(static_cast<std::size_t>(b * b * count));
+  std::vector<float> bb(a.size());
+  std::vector<float> c(static_cast<std::size_t>(b * b));
+  Xoshiro256 rng(1);
+  fill_uniform(a.data(), a.size(), rng, -0.5f, 0.5f);
+  fill_uniform(bb.data(), bb.size(), rng, -0.5f, 0.5f);
+  tpp::BrgemmTPP brgemm(b, b, b, b * b, b * b, 0.0f);
+  for (auto _ : state) {
+    brgemm(a.data(), bb.data(), c.data(), count);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * b * b * b * count);
+}
+BENCHMARK(BM_BrgemmF32)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BrgemmBf16Vnni(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  const std::int64_t count = 8;
+  std::vector<bf16> flat(static_cast<std::size_t>(b * b));
+  Xoshiro256 rng(2);
+  for (auto& v : flat) v = bf16::from_f32(rng.uniform(-0.5f, 0.5f));
+  const std::int64_t blk = tpp::vnni2_elems(b, b);
+  std::vector<bf16> a(static_cast<std::size_t>(blk * count));
+  for (std::int64_t i = 0; i < count; ++i)
+    tpp::vnni2_pack(flat.data(), a.data() + i * blk, b, b, b);
+  std::vector<bf16> bb(static_cast<std::size_t>(b * b * count));
+  for (auto& v : bb) v = bf16::from_f32(rng.uniform(-0.5f, 0.5f));
+  std::vector<float> c(static_cast<std::size_t>(b * b));
+  tpp::BrgemmTPP brgemm(b, b, b, blk, b * b, 0.0f, DType::BF16, DType::BF16,
+                        DType::F32, tpp::ALayout::kVnni2);
+  for (auto _ : state) {
+    brgemm(a.data(), bb.data(), c.data(), count);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * b * b * b * count);
+}
+BENCHMARK(BM_BrgemmBf16Vnni)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_UnaryGelu(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<float> in(static_cast<std::size_t>(n * n)), out(in.size());
+  Xoshiro256 rng(3);
+  fill_uniform(in.data(), in.size(), rng, -2.0f, 2.0f);
+  tpp::UnaryTPP gelu(tpp::UnaryKind::kGelu, n, n);
+  for (auto _ : state) {
+    gelu(in.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_UnaryGelu)->Arg(32)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<float> in(static_cast<std::size_t>(n * n)), out(in.size());
+  Xoshiro256 rng(4);
+  fill_uniform(in.data(), in.size(), rng, -4.0f, 4.0f);
+  for (auto _ : state) {
+    tpp::softmax_rows(in.data(), out.data(), n, n, n, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(256);
+
+void BM_LayerNormFwd(benchmark::State& state) {
+  const std::int64_t rows = 128, cols = state.range(0);
+  std::vector<float> in(static_cast<std::size_t>(rows * cols)), out(in.size());
+  std::vector<float> gamma(static_cast<std::size_t>(cols), 1.0f);
+  std::vector<float> beta(static_cast<std::size_t>(cols), 0.0f);
+  std::vector<float> mean(static_cast<std::size_t>(rows)), var(mean.size());
+  Xoshiro256 rng(5);
+  fill_uniform(in.data(), in.size(), rng, -1.0f, 1.0f);
+  tpp::LayerNormFwd ln{rows, cols, 1e-5f};
+  for (auto _ : state) {
+    ln(in.data(), gamma.data(), beta.data(), mean.data(), var.data(),
+       out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_LayerNormFwd)->Arg(256)->Arg(1024);
+
+void BM_Vnni2Pack(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<bf16> in(static_cast<std::size_t>(n * n)), out(
+      static_cast<std::size_t>(tpp::vnni2_elems(n, n)));
+  for (auto _ : state) {
+    tpp::vnni2_pack(in.data(), out.data(), n, n, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Vnni2Pack)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

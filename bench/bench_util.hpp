@@ -1,0 +1,61 @@
+// Shared helpers for the paper-figure benches: CLI scaling, operand setup
+// and table printing. Every bench prints the same rows/series as its paper
+// figure; pass --full for paper-scale shapes (defaults are scaled so the
+// whole suite runs in minutes on one core).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "kernels/gemm_kernel.hpp"
+
+namespace plt::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+// Prepares packed operands and times a GEMM kernel; returns GFLOPS.
+struct GemmRun {
+  double gflops = 0.0;
+  double seconds = 0.0;
+};
+
+inline GemmRun run_gemm(const kernels::GemmConfig& cfg, int warmup = 1,
+                        int iters = 3) {
+  kernels::GemmKernel kernel(cfg);
+  AlignedBuffer<std::uint8_t> a(kernel.a_elems() * dtype_size(cfg.dtype));
+  AlignedBuffer<std::uint8_t> b(kernel.b_elems() * dtype_size(cfg.dtype));
+  AlignedBuffer<std::uint8_t> c(kernel.c_elems() * dtype_size(cfg.dtype));
+  Xoshiro256 rng(11);
+  std::vector<float> flat(std::max(kernel.a_elems(), kernel.b_elems()));
+  fill_uniform(flat.data(), flat.size(), rng, -0.5f, 0.5f);
+  kernel.pack_a(flat.data(), a.data());
+  kernel.pack_b(flat.data(), b.data());
+  GemmRun r;
+  r.seconds = time_best_seconds(
+      [&] { kernel.run(a.data(), b.data(), c.data()); }, warmup, iters);
+  r.gflops = gflops(kernel.flops(), r.seconds);
+  return r;
+}
+
+inline double geomean(const std::vector<double>& v) {
+  double log_sum = 0.0;
+  for (double x : v) log_sum += std::log(x);
+  return v.empty() ? 0.0 : std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+}  // namespace plt::bench

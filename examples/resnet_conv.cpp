@@ -1,0 +1,60 @@
+// Direct convolution via PARLOOPER/TPP on a ResNet-50 layer shape, showing
+// the Listing-4 pattern: one identical kernel, multiple loop_spec_strings —
+// and a full scaled ResNet-50 forward pass on top.
+//
+//   ./resnet_conv [loop_spec_string]
+#include <cstdio>
+#include <string>
+
+#include "common/timer.hpp"
+#include "dl/resnet.hpp"
+#include "kernels/conv_kernel.hpp"
+
+using namespace plt;
+
+int main(int argc, char** argv) {
+  // Layer 8 of the Fig. 7 table: 128x128 3x3 on 28x28.
+  kernels::ConvConfig cfg;
+  cfg.N = 1;
+  cfg.C = 128;
+  cfg.K = 128;
+  cfg.H = cfg.W = 28;
+  cfg.R = cfg.S = 3;
+  cfg.pad_h = cfg.pad_w = 1;
+  cfg.bc = cfg.bk = 32;
+  if (argc > 1) cfg.loop_spec = argv[1];
+  kernels::ConvKernel conv(cfg);
+
+  Xoshiro256 rng(9);
+  std::vector<float> input(static_cast<std::size_t>(cfg.C * cfg.H * cfg.W));
+  std::vector<float> weights(static_cast<std::size_t>(cfg.K * cfg.C * 9));
+  fill_uniform(input.data(), input.size(), rng, -1.0f, 1.0f);
+  fill_uniform(weights.data(), weights.size(), rng, -0.1f, 0.1f);
+  AlignedBuffer<std::uint8_t> in_b(conv.input_elems() * 4);
+  AlignedBuffer<std::uint8_t> w_b(conv.weight_elems() * 4);
+  AlignedBuffer<std::uint8_t> out_b(conv.output_elems() * 4);
+  conv.pack_input(input.data(), in_b.data());
+  conv.pack_weights(weights.data(), w_b.data());
+
+  const double s = time_best_seconds(
+      [&] { conv.run(in_b.data(), w_b.data(), out_b.data()); }, 1, 3);
+  std::printf("conv 128x128 3x3 @28x28 spec '%s': %.2f GFLOPS\n",
+              cfg.loop_spec.c_str(), gflops(conv.flops(), s));
+
+  // Full (scaled) ResNet-50 forward.
+  dl::ResNetConfig rcfg;
+  rcfg.N = 1;
+  rcfg.image = 64;
+  rcfg.channel_scale = 4;
+  dl::ResNet50 model(rcfg, rng);
+  std::vector<float> img(static_cast<std::size_t>(3 * rcfg.image * rcfg.image));
+  fill_uniform(img.data(), img.size(), rng, -1.0f, 1.0f);
+  std::vector<float> logits(1000);
+  WallTimer t;
+  model.forward(img.data(), logits.data());
+  std::printf("scaled ResNet-50 forward: %.1f ms (%.2f GFLOP)\n", t.millis(),
+              model.forward_flops() / 1e9);
+  std::printf("logits[0..3]: %.4f %.4f %.4f %.4f\n", logits[0], logits[1],
+              logits[2], logits[3]);
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "baselines/ref_conv.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "baselines/ref_gemm.hpp"
+
+namespace plt::baselines {
+
+void naive_conv(const ConvShape& s, const float* input, const float* weights,
+                float* output) {
+  const std::int64_t P = s.P(), Q = s.Q();
+  for (std::int64_t n = 0; n < s.N; ++n)
+    for (std::int64_t k = 0; k < s.K; ++k)
+      for (std::int64_t p = 0; p < P; ++p)
+        for (std::int64_t q = 0; q < Q; ++q) {
+          float acc = 0.0f;
+          for (std::int64_t c = 0; c < s.C; ++c)
+            for (std::int64_t r = 0; r < s.R; ++r)
+              for (std::int64_t t = 0; t < s.S; ++t) {
+                const std::int64_t h = p * s.stride_h + r - s.pad_h;
+                const std::int64_t w = q * s.stride_w + t - s.pad_w;
+                if (h < 0 || h >= s.H || w < 0 || w >= s.W) continue;
+                acc += input[((n * s.C + c) * s.H + h) * s.W + w] *
+                       weights[((k * s.C + c) * s.R + r) * s.S + t];
+              }
+          output[((n * s.K + k) * P + p) * Q + q] = acc;
+        }
+}
+
+void im2col_conv(const ConvShape& s, const float* input, const float* weights,
+                 float* output) {
+  const std::int64_t P = s.P(), Q = s.Q();
+  const std::int64_t patch = s.C * s.R * s.S;   // GEMM K dimension
+  const std::int64_t pixels = P * Q;            // GEMM N dimension per image
+
+  // Column buffer: col-major (patch x pixels). Weights matrix: col-major
+  // (K x patch) gathered once (weights are KCRS row-major over (C,R,S)).
+  std::vector<float> wmat(static_cast<std::size_t>(s.K * patch));
+  for (std::int64_t k = 0; k < s.K; ++k)
+    for (std::int64_t pc = 0; pc < patch; ++pc)
+      wmat[static_cast<std::size_t>(k + pc * s.K)] =
+          weights[k * patch + pc];
+
+  std::vector<float> col(static_cast<std::size_t>(patch * pixels));
+  std::vector<float> out(static_cast<std::size_t>(s.K * pixels));
+  for (std::int64_t n = 0; n < s.N; ++n) {
+    std::memset(col.data(), 0, col.size() * sizeof(float));
+    for (std::int64_t p = 0; p < P; ++p)
+      for (std::int64_t q = 0; q < Q; ++q) {
+        const std::int64_t pix = p * Q + q;
+        for (std::int64_t c = 0; c < s.C; ++c)
+          for (std::int64_t r = 0; r < s.R; ++r)
+            for (std::int64_t t = 0; t < s.S; ++t) {
+              const std::int64_t h = p * s.stride_h + r - s.pad_h;
+              const std::int64_t w = q * s.stride_w + t - s.pad_w;
+              if (h < 0 || h >= s.H || w < 0 || w >= s.W) continue;
+              col[static_cast<std::size_t>((c * s.R + r) * s.S + t +
+                                           pix * patch)] =
+                  input[((n * s.C + c) * s.H + h) * s.W + w];
+            }
+      }
+    // out (K x pixels) = wmat (K x patch) x col (patch x pixels).
+    fixed_blocked_gemm(wmat.data(), col.data(), out.data(), s.K, pixels, patch);
+    // Scatter to NKPQ (out column pix is contiguous over K; transpose).
+    for (std::int64_t k = 0; k < s.K; ++k)
+      for (std::int64_t pix = 0; pix < pixels; ++pix)
+        output[(n * s.K + k) * pixels + pix] =
+            out[static_cast<std::size_t>(k + pix * s.K)];
+  }
+}
+
+}  // namespace plt::baselines

@@ -1,0 +1,29 @@
+// Convolution baseline: im2col + fixed-schedule GEMM — the classic library
+// fallback path. Used as the oneDNN substitute in the Fig. 7 comparison.
+// Tensors are NCHW (input), KCRS (weights), NKPQ (output), fp32.
+#pragma once
+
+#include <cstdint>
+
+namespace plt::baselines {
+
+struct ConvShape {
+  std::int64_t N = 1, C = 0, K = 0, H = 0, W = 0, R = 3, S = 3;
+  std::int64_t stride_h = 1, stride_w = 1, pad_h = 0, pad_w = 0;
+
+  std::int64_t P() const { return (H + 2 * pad_h - R) / stride_h + 1; }
+  std::int64_t Q() const { return (W + 2 * pad_w - S) / stride_w + 1; }
+  double flops() const {
+    return 2.0 * static_cast<double>(N) * K * P() * Q() * C * R * S;
+  }
+};
+
+// Direct naive convolution (numerics ground truth for tests).
+void naive_conv(const ConvShape& s, const float* input, const float* weights,
+                float* output);
+
+// im2col + blocked GEMM (the performance baseline).
+void im2col_conv(const ConvShape& s, const float* input, const float* weights,
+                 float* output);
+
+}  // namespace plt::baselines

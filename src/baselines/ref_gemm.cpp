@@ -1,0 +1,85 @@
+#include "baselines/ref_gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/threading.hpp"
+
+namespace plt::baselines {
+
+void naive_gemm(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t n, std::int64_t k) {
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t i = 0; i < m; ++i) {
+      float sum = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) sum += a[i + kk * m] * b[kk + j * k];
+      c[i + j * m] = sum;
+    }
+}
+
+namespace {
+
+// One-size-fits-all tile sizes: reasonable for mid-size shapes, but not
+// adapted per problem — exactly the glass-jaw the paper attributes to
+// untuned library schedules.
+constexpr std::int64_t kMc = 64, kNc = 64, kKc = 64;
+
+}  // namespace
+
+void fixed_blocked_gemm(const float* a, const float* b, float* c,
+                        std::int64_t m, std::int64_t n, std::int64_t k) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) *
+                        static_cast<std::size_t>(n));
+#if defined(PLT_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i0 = 0; i0 < m; i0 += kMc) {
+    const std::int64_t i1 = std::min(m, i0 + kMc);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kKc) {
+      const std::int64_t k1 = std::min(k, k0 + kKc);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
+        const std::int64_t j1 = std::min(n, j0 + kNc);
+        for (std::int64_t j = j0; j < j1; ++j) {
+          float* cj = c + j * m;
+          for (std::int64_t kk = k0; kk < k1; ++kk) {
+            const float bv = b[kk + j * k];
+            const float* ai = a + kk * m;
+            for (std::int64_t i = i0; i < i1; ++i) cj[i] += ai[i] * bv;
+          }
+        }
+      }
+    }
+  }
+}
+
+void fixed_blocked_gemm_bf16(const bf16* a, const bf16* b, float* c,
+                             std::int64_t m, std::int64_t n, std::int64_t k) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) *
+                        static_cast<std::size_t>(n));
+#if defined(PLT_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i0 = 0; i0 < m; i0 += kMc) {
+    const std::int64_t i1 = std::min(m, i0 + kMc);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kKc) {
+      const std::int64_t k1 = std::min(k, k0 + kKc);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
+        const std::int64_t j1 = std::min(n, j0 + kNc);
+        for (std::int64_t j = j0; j < j1; ++j) {
+          float* cj = c + j * m;
+          for (std::int64_t kk = k0; kk < k1; ++kk) {
+            // Flat bf16: per-element upconvert in the hot loop (no packed
+            // layout, no wide dot-product) — the baseline handicap.
+            const float bv = b[kk + j * k].to_f32();
+            const bf16* ai = a + kk * m;
+            for (std::int64_t i = i0; i < i1; ++i)
+              cj[i] += ai[i].to_f32() * bv;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace plt::baselines

@@ -1,0 +1,98 @@
+// 64-byte aligned, RAII-owned flat buffers for blocked tensors.
+//
+// Kernels assume cache-line alignment for vector loads/stores; every tensor
+// in the library is backed by one of these. The buffer is deliberately not a
+// full tensor class — blocked-layout views (see kernels/blocked_layout.hpp)
+// overlay index math on top.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace plt {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) { resize(n); }
+
+  AlignedBuffer(AlignedBuffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)), size_(std::exchange(o.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer& o) : AlignedBuffer(o.size_) {
+    if (size_) std::memcpy(data_, o.data_, size_ * sizeof(T));
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& o) {
+    if (this != &o) {
+      resize(o.size_);
+      if (size_) std::memcpy(data_, o.data_, size_ * sizeof(T));
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  void resize(std::size_t n) {
+    release();
+    if (n == 0) return;
+    const std::size_t bytes = ((n * sizeof(T) + kCacheLine - 1) / kCacheLine) * kCacheLine;
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLine, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    size_ = n;
+  }
+
+  void zero() {
+    if (size_) std::memset(data_, 0, size_ * sizeof(T));
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    PLT_DCHECK(i < size_, "buffer index out of range");
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    PLT_DCHECK(i < size_, "buffer index out of range");
+    return data_[i];
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace plt

@@ -1,0 +1,87 @@
+// bfloat16 storage type with round-to-nearest-even conversion.
+//
+// The TPP backend is "precision aware": tensors may be stored in bf16 while
+// all accumulation happens in fp32 (the contract libxsmm and the paper use).
+// This type is storage-only on purpose — arithmetic goes through float so the
+// numerics are identical between the scalar reference kernels and the
+// AVX-512-BF16 fast paths.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace plt {
+
+struct bf16 {
+  std::uint16_t bits = 0;
+
+  bf16() = default;
+
+  // Round-to-nearest-even truncation of an IEEE-754 float, matching the
+  // semantics of VCVTNEPS2BF16. NaN payloads are preserved (quietened).
+  static bf16 from_f32(float f) {
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    bf16 r;
+    if ((u & 0x7fffffffu) > 0x7f800000u) {   // NaN: quieten, keep high bits
+      r.bits = static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+      return r;
+    }
+    const std::uint32_t lsb = (u >> 16) & 1u;
+    u += 0x7fffu + lsb;                       // round to nearest even
+    r.bits = static_cast<std::uint16_t>(u >> 16);
+    return r;
+  }
+
+  float to_f32() const {
+    const std::uint32_t u = static_cast<std::uint32_t>(bits) << 16;
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+  }
+
+  explicit bf16(float f) : bits(from_f32(f).bits) {}
+  explicit operator float() const { return to_f32(); }
+
+  friend bool operator==(bf16 a, bf16 b) { return a.bits == b.bits; }
+  friend bool operator!=(bf16 a, bf16 b) { return a.bits != b.bits; }
+};
+
+static_assert(sizeof(bf16) == 2, "bf16 must be 2 bytes");
+
+// Datatype tags used by TPP descriptors (a trimmed-down libxsmm_datatype).
+enum class DType : std::uint8_t { F32 = 0, BF16 = 1, I32 = 2, U8 = 3 };
+
+inline std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::F32:  return 4;
+    case DType::BF16: return 2;
+    case DType::I32:  return 4;
+    case DType::U8:   return 1;
+  }
+  return 0;
+}
+
+inline const char* dtype_name(DType t) {
+  switch (t) {
+    case DType::F32:  return "f32";
+    case DType::BF16: return "bf16";
+    case DType::I32:  return "i32";
+    case DType::U8:   return "u8";
+  }
+  return "?";
+}
+
+template <typename T> struct dtype_of;
+template <> struct dtype_of<float> { static constexpr DType value = DType::F32; };
+template <> struct dtype_of<bf16>  { static constexpr DType value = DType::BF16; };
+template <> struct dtype_of<std::int32_t> { static constexpr DType value = DType::I32; };
+template <> struct dtype_of<std::uint8_t> { static constexpr DType value = DType::U8; };
+
+// Uniform load/store helpers so templated kernels can mix precisions.
+inline float load_f32(const float* p) { return *p; }
+inline float load_f32(const bf16* p) { return p->to_f32(); }
+inline void store_f32(float* p, float v) { *p = v; }
+inline void store_f32(bf16* p, float v) { *p = bf16::from_f32(v); }
+
+}  // namespace plt

@@ -1,0 +1,33 @@
+// Lightweight contract-checking macros used across the library.
+//
+// PLT_CHECK is always on (it guards API misuse that would otherwise corrupt
+// memory); PLT_DCHECK compiles out in release builds and is used on hot
+// paths. Both throw std::invalid_argument so callers and tests can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace plt {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace plt
+
+#define PLT_CHECK(expr, msg)                                   \
+  do {                                                         \
+    if (!(expr)) ::plt::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#if defined(NDEBUG)
+#define PLT_DCHECK(expr, msg) ((void)0)
+#else
+#define PLT_DCHECK(expr, msg) PLT_CHECK(expr, msg)
+#endif

@@ -1,0 +1,25 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace plt {
+
+int log_level() {
+  static const int level = [] {
+    if (const char* env = std::getenv("PLT_LOG_LEVEL")) return std::atoi(env);
+    return 1;  // warnings and errors by default
+  }();
+  return level;
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[plt %s] %s\n", names[static_cast<int>(level)],
+               msg.c_str());
+}
+
+}  // namespace plt

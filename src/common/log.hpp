@@ -1,0 +1,39 @@
+// Minimal leveled logging. Controlled by PLT_LOG_LEVEL (0=quiet .. 3=debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace plt {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+int log_level();
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace plt
+
+#define PLT_LOG(level)                                       \
+  if (static_cast<int>(level) <= ::plt::log_level())         \
+  ::plt::detail::LogLine(level)
+
+#define PLT_LOG_INFO PLT_LOG(::plt::LogLevel::kInfo)
+#define PLT_LOG_WARN PLT_LOG(::plt::LogLevel::kWarn)
+#define PLT_LOG_DEBUG PLT_LOG(::plt::LogLevel::kDebug)

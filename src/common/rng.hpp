@@ -1,0 +1,66 @@
+// Deterministic, splittable RNG (xoshiro256**) used for tensor init, dropout
+// masks and the block-pruning pipeline. Deterministic seeding keeps the test
+// suite and the paper-figure benches reproducible run to run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bf16.hpp"
+
+namespace plt {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  // Uniform in [0, 1).
+  double next_double() { return (next_u64() >> 11) * 0x1.0p-53; }
+  float next_float() { return static_cast<float>(next_double()); }
+
+  // Uniform in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  // Uniform integer in [0, n).
+  std::uint64_t bounded(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  // A decorrelated child stream (for per-thread RNG state).
+  Xoshiro256 split() { return Xoshiro256(next_u64() ^ 0xA0761D6478BD642Full); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+template <typename T>
+void fill_uniform(T* p, std::size_t n, Xoshiro256& rng, float lo = -1.0f,
+                  float hi = 1.0f) {
+  for (std::size_t i = 0; i < n; ++i) store_f32(&p[i], rng.uniform(lo, hi));
+}
+
+}  // namespace plt

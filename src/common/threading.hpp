@@ -1,0 +1,53 @@
+// Thin OpenMP wrappers so the rest of the library builds (single-threaded)
+// even when OpenMP is unavailable. PARLOOPER's generated loops target these
+// semantics: the paper's POC uses OpenMP for concurrency (Section II-B).
+#pragma once
+
+#if defined(PLT_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace plt {
+
+inline int max_threads() {
+#if defined(PLT_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+inline int thread_id() {
+#if defined(PLT_HAVE_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+inline int num_threads_in_region() {
+#if defined(PLT_HAVE_OPENMP)
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
+inline void thread_barrier() {
+#if defined(PLT_HAVE_OPENMP)
+#pragma omp barrier
+#endif
+}
+
+// Runs fn(tid, nthreads) inside a parallel region.
+template <typename Fn>
+void parallel_region(Fn&& fn) {
+#if defined(PLT_HAVE_OPENMP)
+#pragma omp parallel
+  { fn(omp_get_thread_num(), omp_get_num_threads()); }
+#else
+  fn(0, 1);
+#endif
+}
+
+}  // namespace plt

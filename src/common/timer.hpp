@@ -1,0 +1,46 @@
+// Wall-clock timing utilities for benchmarks and the auto-tuner.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace plt {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Runs fn() warmup+iters times, returns best-of-iters seconds per call.
+// Best-of is the standard convention for kernel benchmarking: it filters
+// scheduler noise and reflects the steady-state cache-resident rate.
+template <typename Fn>
+double time_best_seconds(Fn&& fn, int warmup = 1, int iters = 3) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    WallTimer t;
+    fn();
+    const double s = t.seconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+inline double gflops(double flops, double seconds) {
+  return seconds > 0 ? flops / seconds * 1e-9 : 0.0;
+}
+
+}  // namespace plt

@@ -1,0 +1,105 @@
+#include "dl/attention.hpp"
+
+#include <cmath>
+
+#include "tpp/brgemm.hpp"
+#include "tpp/equations.hpp"
+#include "tpp/transforms.hpp"
+
+namespace plt::dl {
+
+namespace {
+
+// Packs a [seq][dh] slice (row stride ld) into a contiguous dh-major panel
+// p[t * dh + d].
+void pack_panel(const float* slice, std::int64_t seq, std::int64_t dh,
+                std::int64_t ld, float* panel) {
+  for (std::int64_t t = 0; t < seq; ++t)
+    for (std::int64_t d = 0; d < dh; ++d) panel[t * dh + d] = slice[t * ld + d];
+}
+
+}  // namespace
+
+void AttentionHead::forward(const float* q, const float* k, const float* v,
+                            float* out, float* probs_t) const {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // KT: col-major (seq_k x dh) panel so scores^T = KT x Q is one GEMM.
+  std::vector<float> kt(static_cast<std::size_t>(seq * dh));
+  tpp::transpose_2d(k, kt.data(), dh, seq, ld, seq);
+
+  // scores^T (key-major): st(j, i) = K_j . Q_i.
+  std::vector<float> st(static_cast<std::size_t>(seq * seq));
+  tpp::GemmTPP score_gemm(seq, seq, dh, 0.0f, DType::F32, DType::F32,
+                          DType::F32, tpp::ALayout::kFlat,
+                          /*lda=*/seq, /*ldb=*/ld, /*ldc=*/seq);
+  score_gemm(kt.data(), q, st.data());
+
+  // Each query's distribution is one contiguous column of st: softmax over
+  // "rows" of the transposed view.
+  tpp::softmax_scale_mask_rows(st.data(), probs_t, seq, seq, seq, seq, scale,
+                               nullptr);
+
+  // ctx(d, i) = sum_j V(j, d) P(i, j): A = dh-major V panel, B = probs_t.
+  std::vector<float> vp(static_cast<std::size_t>(seq * dh));
+  pack_panel(v, seq, dh, ld, vp.data());
+  tpp::GemmTPP ctx_gemm(dh, seq, seq, 0.0f, DType::F32, DType::F32,
+                        DType::F32, tpp::ALayout::kFlat,
+                        /*lda=*/dh, /*ldb=*/seq, /*ldc=*/ld);
+  ctx_gemm(vp.data(), probs_t, out);
+}
+
+void AttentionHead::backward(const float* q, const float* k, const float* v,
+                             const float* probs_t, const float* dout,
+                             float* dq, float* dk, float* dv) const {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // dP^T (key-major): dpt(j, i) = sum_d dout(i, d) V(j, d).
+  std::vector<float> vt(static_cast<std::size_t>(seq * dh));
+  tpp::transpose_2d(v, vt.data(), dh, seq, ld, seq);
+  std::vector<float> dpt(static_cast<std::size_t>(seq * seq));
+  tpp::GemmTPP dp_gemm(seq, seq, dh, 0.0f, DType::F32, DType::F32, DType::F32,
+                       tpp::ALayout::kFlat, seq, ld, seq);
+  dp_gemm(vt.data(), dout, dpt.data());
+
+  // Softmax backward per query distribution (contiguous columns).
+  std::vector<float> dst(static_cast<std::size_t>(seq * seq));
+  tpp::softmax_rows_bwd(dpt.data(), probs_t, dst.data(), seq, seq, seq);
+
+  // dV(j, d): dv_cm(d, j) = sum_i dout(i, d) P(i, j) — A = dh-major dout
+  // panel, B = probs_t read query-major, i.e. the transpose of probs_t.
+  std::vector<float> dop(static_cast<std::size_t>(seq * dh));
+  pack_panel(dout, seq, dh, ld, dop.data());
+  std::vector<float> p_qmajor(static_cast<std::size_t>(seq * seq));
+  tpp::transpose_2d(probs_t, p_qmajor.data(), seq, seq, seq, seq);
+  tpp::GemmTPP dv_gemm(dh, seq, seq, 0.0f, DType::F32, DType::F32, DType::F32,
+                       tpp::ALayout::kFlat, dh, seq, ld);
+  dv_gemm(dop.data(), p_qmajor.data(), dv);
+
+  // dQ(i, d) = scale * sum_j dS(i, j) K(j, d): A = dh-major K panel,
+  // B = dst (key-major columns per query).
+  std::vector<float> kp(static_cast<std::size_t>(seq * dh));
+  pack_panel(k, seq, dh, ld, kp.data());
+  tpp::GemmTPP dq_gemm(dh, seq, seq, 0.0f, DType::F32, DType::F32, DType::F32,
+                       tpp::ALayout::kFlat, dh, seq, ld);
+  dq_gemm(kp.data(), dst.data(), dq);
+
+  // dK(j, d) = scale * sum_i dS(i, j) Q(i, d): B must be query-major, so
+  // transpose dst once.
+  std::vector<float> ds_qmajor(static_cast<std::size_t>(seq * seq));
+  tpp::transpose_2d(dst.data(), ds_qmajor.data(), seq, seq, seq, seq);
+  std::vector<float> qp(static_cast<std::size_t>(seq * dh));
+  pack_panel(q, seq, dh, ld, qp.data());
+  tpp::GemmTPP dk_gemm(dh, seq, seq, 0.0f, DType::F32, DType::F32, DType::F32,
+                       tpp::ALayout::kFlat, dh, seq, ld);
+  dk_gemm(qp.data(), ds_qmajor.data(), dk);
+
+  // Apply the attention scale to dQ and dK.
+  for (std::int64_t t = 0; t < seq; ++t)
+    for (std::int64_t d = 0; d < dh; ++d) {
+      dq[t * ld + d] *= scale;
+      dk[t * ld + d] *= scale;
+    }
+}
+
+}  // namespace plt::dl

@@ -1,0 +1,34 @@
+// Single-head scaled-dot-product attention forward/backward over one
+// (batch, head) slice, expressed with GEMM TPPs plus the fused
+// scale+mask+softmax equation TPP (the Bert-Self-Attention building block of
+// Section IV-A).
+//
+// Slices are rows of the packed [tokens][hidden] activation: Q/K/V/out
+// pointers address the head's first feature with row stride `ld` (= hidden).
+// Internally the head packs K/V/Q into dh-major panels so every contraction
+// maps onto the column-major BRGEMM microkernels without strided loads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace plt::dl {
+
+struct AttentionHead {
+  std::int64_t seq = 0;   // tokens in this slice
+  std::int64_t dh = 0;    // head dimension
+  std::int64_t ld = 0;    // row stride of the packed activation (= hidden)
+
+  // probs_t: caller-provided (seq x seq) buffer storing the softmax output
+  // transposed (key index fastest) — saved for the backward pass.
+  void forward(const float* q, const float* k, const float* v, float* out,
+               float* probs_t) const;
+
+  // dq/dk/dv accumulate is NOT performed — they are written (the caller owns
+  // accumulation across heads via distinct slices).
+  void backward(const float* q, const float* k, const float* v,
+                const float* probs_t, const float* dout, float* dq, float* dk,
+                float* dv) const;
+};
+
+}  // namespace plt::dl

@@ -1,0 +1,317 @@
+#include "dl/resnet.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace plt::dl {
+
+namespace {
+
+std::int64_t pick_bc(std::int64_t channels, std::int64_t block) {
+  return channels % block == 0 ? block : channels;
+}
+
+}  // namespace
+
+float FeatureMap::get(std::int64_t n, std::int64_t c, std::int64_t h,
+                      std::int64_t w) const {
+  const std::int64_t Cb = C / block;
+  const std::size_t idx = static_cast<std::size_t>(
+      (((n * Cb + c / block) * H + h) * W + w) * block + c % block);
+  if (dtype == DType::F32) return reinterpret_cast<const float*>(data.data())[idx];
+  return reinterpret_cast<const bf16*>(data.data())[idx].to_f32();
+}
+
+void FeatureMap::set(std::int64_t n, std::int64_t c, std::int64_t h,
+                     std::int64_t w, float v) {
+  const std::int64_t Cb = C / block;
+  const std::size_t idx = static_cast<std::size_t>(
+      (((n * Cb + c / block) * H + h) * W + w) * block + c % block);
+  if (dtype == DType::F32) {
+    reinterpret_cast<float*>(data.data())[idx] = v;
+  } else {
+    reinterpret_cast<bf16*>(data.data())[idx] = bf16::from_f32(v);
+  }
+}
+
+ConvBnRelu::ConvBnRelu(std::int64_t in_c, std::int64_t out_c,
+                       std::int64_t kernel, std::int64_t stride,
+                       std::int64_t pad, std::int64_t N, std::int64_t H,
+                       std::int64_t W, DType dtype, bool relu, Xoshiro256& rng,
+                       std::int64_t block)
+    : relu_(relu) {
+  kernels::ConvConfig cc;
+  cc.N = N;
+  cc.C = in_c;
+  cc.K = out_c;
+  cc.H = H;
+  cc.W = W;
+  cc.R = kernel;
+  cc.S = kernel;
+  cc.stride_h = stride;
+  cc.stride_w = stride;
+  cc.pad_h = pad;
+  cc.pad_w = pad;
+  cc.bc = pick_bc(in_c, block);
+  cc.bk = pick_bc(out_c, block);
+  cc.dtype = dtype;
+  conv_ = std::make_unique<kernels::ConvKernel>(cc);
+
+  weights_.resize(conv_->weight_elems() * dtype_size(dtype));
+  std::vector<float> kcrs(static_cast<std::size_t>(out_c * in_c * kernel *
+                                                   kernel));
+  const float scale = 1.0f / std::sqrt(static_cast<float>(in_c * kernel * kernel));
+  Xoshiro256 local = rng.split();
+  fill_uniform(kcrs.data(), kcrs.size(), local, -scale, scale);
+  conv_->pack_weights(kcrs.data(), weights_.data());
+
+  gamma_.reshape({out_c});
+  beta_.reshape({out_c});
+  gamma_.fill(1.0f);
+  beta_.zero();
+  in_padded_.resize(conv_->input_elems() * dtype_size(dtype));
+}
+
+void ConvBnRelu::run_conv(const FeatureMap& in, FeatureMap& out) const {
+  const kernels::ConvConfig& cc = conv_->config();
+  PLT_CHECK(in.C == cc.C && in.H == cc.H && in.W == cc.W && in.block == cc.bc,
+            "conv block: input feature map mismatch");
+  // Copy the unpadded map into the physically padded conv input.
+  const std::size_t esz = dtype_size(cc.dtype);
+  std::memset(in_padded_.data(), 0, conv_->input_elems() * esz);
+  const std::int64_t Cb = cc.Cb(), Hp = cc.Hp(), Wp = cc.Wp();
+  const char* src = reinterpret_cast<const char*>(in.data.data());
+  char* dst = reinterpret_cast<char*>(in_padded_.data());
+  const std::size_t row_bytes = static_cast<std::size_t>(cc.W * cc.bc) * esz;
+  for (std::int64_t n = 0; n < cc.N; ++n)
+    for (std::int64_t cb = 0; cb < Cb; ++cb)
+      for (std::int64_t h = 0; h < cc.H; ++h) {
+        const std::size_t s_off = static_cast<std::size_t>(
+            (((n * Cb + cb) * cc.H + h) * cc.W) * cc.bc) * esz;
+        const std::size_t d_off = static_cast<std::size_t>(
+            (((n * Cb + cb) * Hp + h + cc.pad_h) * Wp + cc.pad_w) * cc.bc) * esz;
+        std::memcpy(dst + d_off, src + s_off, row_bytes);
+      }
+
+  out.N = cc.N;
+  out.C = cc.K;
+  out.H = cc.P();
+  out.W = cc.Q();
+  out.block = cc.bk;
+  out.dtype = cc.dtype;
+  out.allocate();
+  conv_->run(in_padded_.data(), weights_.data(), out.data.data());
+}
+
+void ConvBnRelu::bn_relu(FeatureMap& out, const FeatureMap* residual) const {
+  // Per-channel batch statistics over (N, H, W), then normalize + affine,
+  // optional residual add, optional ReLU.
+  const std::int64_t spatial = out.N * out.H * out.W;
+  std::vector<double> mean(static_cast<std::size_t>(out.C), 0.0);
+  std::vector<double> var(static_cast<std::size_t>(out.C), 0.0);
+  for (std::int64_t n = 0; n < out.N; ++n)
+    for (std::int64_t c = 0; c < out.C; ++c)
+      for (std::int64_t h = 0; h < out.H; ++h)
+        for (std::int64_t w = 0; w < out.W; ++w)
+          mean[static_cast<std::size_t>(c)] += out.get(n, c, h, w);
+  for (auto& m : mean) m /= static_cast<double>(spatial);
+  for (std::int64_t n = 0; n < out.N; ++n)
+    for (std::int64_t c = 0; c < out.C; ++c)
+      for (std::int64_t h = 0; h < out.H; ++h)
+        for (std::int64_t w = 0; w < out.W; ++w) {
+          const double d = out.get(n, c, h, w) - mean[static_cast<std::size_t>(c)];
+          var[static_cast<std::size_t>(c)] += d * d;
+        }
+  for (auto& v : var) v /= static_cast<double>(spatial);
+
+  for (std::int64_t n = 0; n < out.N; ++n)
+    for (std::int64_t c = 0; c < out.C; ++c) {
+      const float mu = static_cast<float>(mean[static_cast<std::size_t>(c)]);
+      const float rstd =
+          1.0f / std::sqrt(static_cast<float>(var[static_cast<std::size_t>(c)]) + 1e-5f);
+      const float g = gamma_[static_cast<std::size_t>(c)];
+      const float b = beta_[static_cast<std::size_t>(c)];
+      for (std::int64_t h = 0; h < out.H; ++h)
+        for (std::int64_t w = 0; w < out.W; ++w) {
+          float v = (out.get(n, c, h, w) - mu) * rstd * g + b;
+          if (residual != nullptr) v += residual->get(n, c, h, w);
+          if (relu_ && v < 0.0f) v = 0.0f;
+          out.set(n, c, h, w, v);
+        }
+    }
+}
+
+void ConvBnRelu::forward(const FeatureMap& in, FeatureMap& out) const {
+  run_conv(in, out);
+  bn_relu(out, nullptr);
+}
+
+void ConvBnRelu::forward_add(const FeatureMap& in, const FeatureMap& residual,
+                             FeatureMap& out) const {
+  run_conv(in, out);
+  bn_relu(out, &residual);
+}
+
+namespace {
+
+// 3x3 stride-2 pad-1 max pooling on a blocked feature map.
+void maxpool_3x3_s2(const FeatureMap& in, FeatureMap& out) {
+  out.N = in.N;
+  out.C = in.C;
+  out.H = (in.H + 2 - 3) / 2 + 1;
+  out.W = (in.W + 2 - 3) / 2 + 1;
+  out.block = in.block;
+  out.dtype = in.dtype;
+  out.allocate();
+  for (std::int64_t n = 0; n < in.N; ++n)
+    for (std::int64_t c = 0; c < in.C; ++c)
+      for (std::int64_t p = 0; p < out.H; ++p)
+        for (std::int64_t q = 0; q < out.W; ++q) {
+          float mx = -1e30f;
+          for (std::int64_t r = 0; r < 3; ++r)
+            for (std::int64_t s = 0; s < 3; ++s) {
+              const std::int64_t h = p * 2 + r - 1, w = q * 2 + s - 1;
+              if (h < 0 || h >= in.H || w < 0 || w >= in.W) continue;
+              mx = std::max(mx, in.get(n, c, h, w));
+            }
+          out.set(n, c, p, q, mx);
+        }
+}
+
+}  // namespace
+
+ResNet50::ResNet50(ResNetConfig cfg, Xoshiro256& rng) : cfg_(cfg) {
+  const std::int64_t cs = cfg_.channel_scale;
+  PLT_CHECK(64 % cs == 0, "resnet: channel_scale must divide 64");
+  const std::int64_t N = cfg_.N;
+  const DType dt = cfg_.dtype;
+  const std::int64_t blk = cfg_.block;
+
+  std::int64_t H = cfg_.image, W = cfg_.image;
+  stem_ = std::make_unique<ConvBnRelu>(3, 64 / cs, 7, 2, 3, N, H, W, dt, true,
+                                       rng, blk);
+  H = stem_->out_h();
+  W = stem_->out_w();
+  // maxpool 3x3/2
+  H = (H + 2 - 3) / 2 + 1;
+  W = (W + 2 - 3) / 2 + 1;
+
+  const std::int64_t stage_blocks[4] = {3, 4, 6, 3};
+  const std::int64_t stage_width[4] = {64 / cs, 128 / cs, 256 / cs, 512 / cs};
+  std::int64_t in_c = 64 / cs;
+  for (int st = 0; st < 4; ++st) {
+    const std::int64_t width = stage_width[st];
+    const std::int64_t out_c = width * 4;
+    for (std::int64_t b = 0; b < stage_blocks[st]; ++b) {
+      const std::int64_t stride = (st > 0 && b == 0) ? 2 : 1;
+      Bottleneck bn;
+      bn.reduce = std::make_unique<ConvBnRelu>(in_c, width, 1, stride, 0, N, H,
+                                               W, dt, true, rng, blk);
+      const std::int64_t h2 = bn.reduce->out_h(), w2 = bn.reduce->out_w();
+      bn.conv3 = std::make_unique<ConvBnRelu>(width, width, 3, 1, 1, N, h2, w2,
+                                              dt, true, rng, blk);
+      bn.expand = std::make_unique<ConvBnRelu>(width, out_c, 1, 1, 0, N, h2,
+                                               w2, dt, true, rng, blk);
+      if (b == 0) {
+        bn.downsample = std::make_unique<ConvBnRelu>(
+            in_c, out_c, 1, stride, 0, N, H, W, dt, false, rng, blk);
+      }
+      blocks_.push_back(std::move(bn));
+      in_c = out_c;
+      if (b == 0) {
+        H = h2;
+        W = w2;
+      }
+    }
+  }
+  final_c_ = in_c;
+  fc_w_.reshape({1000, final_c_});
+  fc_b_.reshape({1000});
+  Xoshiro256 local = rng.split();
+  fc_w_.randn_uniform(local, -0.05f, 0.05f);
+  fc_b_.zero();
+}
+
+void ResNet50::forward(const float* nchw, float* logits) const {
+  // Input NCHW -> blocked feature map (stem uses bc = 3).
+  FeatureMap x;
+  x.N = cfg_.N;
+  x.C = 3;
+  x.H = cfg_.image;
+  x.W = cfg_.image;
+  x.block = 3;
+  x.dtype = cfg_.dtype;
+  x.allocate();
+  for (std::int64_t n = 0; n < x.N; ++n)
+    for (std::int64_t c = 0; c < 3; ++c)
+      for (std::int64_t h = 0; h < x.H; ++h)
+        for (std::int64_t w = 0; w < x.W; ++w)
+          x.set(n, c, h, w, nchw[((n * 3 + c) * x.H + h) * x.W + w]);
+
+  FeatureMap y, pooled;
+  stem_->forward(x, y);
+  maxpool_3x3_s2(y, pooled);
+  FeatureMap cur = std::move(pooled);
+
+  for (const Bottleneck& bn : blocks_) {
+    FeatureMap t1, t2, out, shortcut;
+    bn.reduce->forward(cur, t1);
+    bn.conv3->forward(t1, t2);
+    if (bn.downsample) {
+      bn.downsample->forward(cur, shortcut);
+      bn.expand->forward_add(t2, shortcut, out);
+    } else {
+      bn.expand->forward_add(t2, cur, out);
+    }
+    cur = std::move(out);
+  }
+
+  // Global average pool + classifier.
+  std::vector<float> feat(static_cast<std::size_t>(cfg_.N * final_c_));
+  const double inv = 1.0 / static_cast<double>(cur.H * cur.W);
+  for (std::int64_t n = 0; n < cfg_.N; ++n)
+    for (std::int64_t c = 0; c < final_c_; ++c) {
+      double acc = 0.0;
+      for (std::int64_t h = 0; h < cur.H; ++h)
+        for (std::int64_t w = 0; w < cur.W; ++w) acc += cur.get(n, c, h, w);
+      feat[static_cast<std::size_t>(n * final_c_ + c)] =
+          static_cast<float>(acc * inv);
+    }
+  for (std::int64_t n = 0; n < cfg_.N; ++n)
+    for (std::int64_t o = 0; o < 1000; ++o) {
+      float acc = fc_b_[static_cast<std::size_t>(o)];
+      for (std::int64_t c = 0; c < final_c_; ++c)
+        acc += fc_w_[static_cast<std::size_t>(o * final_c_ + c)] *
+               feat[static_cast<std::size_t>(n * final_c_ + c)];
+      logits[n * 1000 + o] = acc;
+    }
+}
+
+double ResNet50::forward_flops() const {
+  double f = stem_->flops();
+  for (const Bottleneck& bn : blocks_) {
+    f += bn.reduce->flops() + bn.conv3->flops() + bn.expand->flops();
+    if (bn.downsample) f += bn.downsample->flops();
+  }
+  f += 2.0 * static_cast<double>(cfg_.N) * final_c_ * 1000;
+  return f;
+}
+
+const std::vector<Fig7ConvShape>& fig7_conv_shapes() {
+  static const std::vector<Fig7ConvShape> shapes = {
+      {2, 64, 256, 56, 56, 1, 1, 1, 0},    {3, 64, 64, 56, 56, 1, 1, 1, 0},
+      {4, 64, 64, 56, 56, 3, 3, 1, 1},     {5, 256, 64, 56, 56, 1, 1, 1, 0},
+      {6, 256, 512, 56, 56, 1, 1, 2, 0},   {7, 256, 128, 56, 56, 1, 1, 2, 0},
+      {8, 128, 128, 28, 28, 3, 3, 1, 1},   {9, 128, 512, 28, 28, 1, 1, 1, 0},
+      {10, 512, 128, 28, 28, 1, 1, 1, 0},  {11, 512, 1024, 28, 28, 1, 1, 2, 0},
+      {12, 512, 256, 28, 28, 1, 1, 2, 0},  {13, 256, 256, 14, 14, 3, 3, 1, 1},
+      {14, 256, 1024, 14, 14, 1, 1, 1, 0}, {15, 1024, 256, 14, 14, 1, 1, 1, 0},
+      {16, 1024, 2048, 14, 14, 1, 1, 2, 0},
+      {17, 1024, 512, 14, 14, 1, 1, 2, 0}, {18, 512, 512, 7, 7, 3, 3, 1, 1},
+      {19, 512, 2048, 7, 7, 1, 1, 1, 0},   {20, 2048, 512, 7, 7, 1, 1, 1, 0}};
+  return shapes;
+}
+
+}  // namespace plt::dl

@@ -1,0 +1,110 @@
+// ResNet-50 built on the PARLOOPER direct-convolution kernel (Section IV-C):
+// conv layers (Listing 4) followed by batch-norm, ReLU, pooling and a final
+// fully-connected classifier — the architecture of He et al. with the
+// standard [3, 4, 6, 3] bottleneck stages.
+//
+// Activations travel between layers as channel-blocked feature maps
+// ([N][Cb][H][W][bc]); conversion helpers insert the physical padding the
+// next convolution expects.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+#include "dl/tensor.hpp"
+#include "kernels/conv_kernel.hpp"
+
+namespace plt::dl {
+
+// Channel-blocked activation: data[N][C/block][H][W][block], fp32 or bf16.
+struct FeatureMap {
+  std::int64_t N = 0, C = 0, H = 0, W = 0;
+  std::int64_t block = 16;
+  DType dtype = DType::F32;
+  AlignedBuffer<std::uint8_t> data;
+
+  std::size_t elems() const {
+    return static_cast<std::size_t>(N * C * H * W);
+  }
+  void allocate() { data.resize(elems() * dtype_size(dtype)); }
+  float get(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w) const;
+  void set(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w,
+           float v);
+};
+
+// Conv + batch-norm + optional ReLU block. Batch-norm statistics are
+// computed per forward call (training semantics, as in the Fig. 9 / Tab. II
+// training experiments).
+class ConvBnRelu {
+ public:
+  ConvBnRelu(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
+             std::int64_t stride, std::int64_t pad, std::int64_t N,
+             std::int64_t H, std::int64_t W, DType dtype, bool relu,
+             Xoshiro256& rng, std::int64_t block = 16);
+
+  // in: feature map matching (N, in_c, H, W); out is resized internally.
+  void forward(const FeatureMap& in, FeatureMap& out) const;
+  // Adds `residual` before the ReLU (bottleneck shortcut join).
+  void forward_add(const FeatureMap& in, const FeatureMap& residual,
+                   FeatureMap& out) const;
+
+  const kernels::ConvKernel& conv() const { return *conv_; }
+  double flops() const { return conv_->flops(); }
+  std::int64_t out_h() const { return conv_->config().P(); }
+  std::int64_t out_w() const { return conv_->config().Q(); }
+
+ private:
+  void run_conv(const FeatureMap& in, FeatureMap& out) const;
+  void bn_relu(FeatureMap& out, const FeatureMap* residual) const;
+
+  std::unique_ptr<kernels::ConvKernel> conv_;
+  AlignedBuffer<std::uint8_t> weights_;
+  Tensor gamma_, beta_;
+  bool relu_ = true;
+  mutable AlignedBuffer<std::uint8_t> in_padded_;
+};
+
+struct ResNetConfig {
+  std::int64_t N = 1;          // minibatch
+  std::int64_t image = 224;    // input spatial size
+  DType dtype = DType::F32;
+  std::int64_t block = 16;     // channel blocking
+  // Scale divides every stage's channel counts (1 = real ResNet-50).
+  std::int64_t channel_scale = 1;
+};
+
+class ResNet50 {
+ public:
+  ResNet50(ResNetConfig cfg, Xoshiro256& rng);
+
+  // input: NCHW fp32; returns logits [N][1000] (row-major).
+  void forward(const float* nchw, float* logits) const;
+
+  double forward_flops() const;
+  const ResNetConfig& config() const { return cfg_; }
+
+ private:
+  struct Bottleneck {
+    std::unique_ptr<ConvBnRelu> reduce, conv3, expand, downsample;
+  };
+
+  ResNetConfig cfg_;
+  std::unique_ptr<ConvBnRelu> stem_;
+  std::vector<Bottleneck> blocks_;
+  Tensor fc_w_, fc_b_;  // [1000][final_c]
+  std::int64_t final_c_ = 0;
+};
+
+// The 20 ResNet-50 convolution shapes of the paper's Fig. 7 table
+// (LayerID 2..20, with their N/C/K/H/W/R/S/stride metadata).
+struct Fig7ConvShape {
+  int layer_id;
+  std::int64_t C, K, H, W, R, S, stride, pad;
+};
+const std::vector<Fig7ConvShape>& fig7_conv_shapes();
+
+}  // namespace plt::dl

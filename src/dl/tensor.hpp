@@ -1,0 +1,52 @@
+// Minimal dense tensor for the DL workloads: row-major fp32 (activations,
+// gradients, master weights). Low-precision storage lives inside the
+// kernels' blocked layouts; this class is deliberately simple — the DL
+// pipelines are kernel showcases, not a framework.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+
+namespace plt::dl {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::int64_t> shape) { reshape(std::move(shape)); }
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(std::vector<std::int64_t>(shape)) {}
+
+  void reshape(std::vector<std::int64_t> shape) {
+    shape_ = std::move(shape);
+    std::int64_t n = 1;
+    for (std::int64_t d : shape_) n *= d;
+    data_.resize(static_cast<std::size_t>(n));
+  }
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const { return shape_[i]; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  void zero() { data_.zero(); }
+  void fill(float v) {
+    for (auto& x : data_) x = v;
+  }
+  void randn_uniform(Xoshiro256& rng, float lo = -0.1f, float hi = 0.1f) {
+    fill_uniform(data_.data(), data_.size(), rng, lo, hi);
+  }
+
+ private:
+  std::vector<std::int64_t> shape_;
+  AlignedBuffer<float> data_;
+};
+
+}  // namespace plt::dl

@@ -1,0 +1,194 @@
+#include "parlooper/interpreter.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/threading.hpp"
+
+namespace plt::parlooper {
+
+namespace {
+
+struct ThreadExec {
+  const LoopNestPlan& plan;
+  const BodyFn& body;
+  int tid;
+  int nthreads;
+  bool simulated = false;  // skip barriers when replaying a single thread
+  std::int64_t coord[4] = {0, 0, 0, 0};  // index by GridAxis
+  std::vector<std::int64_t> cur;         // current value per level
+  std::vector<std::int64_t> ind;         // body's logical-index array
+
+  ThreadExec(const LoopNestPlan& p, const BodyFn& b, int t, int n)
+      : plan(p), body(b), tid(t), nthreads(n) {
+    cur.assign(p.levels().size(), 0);
+    ind.assign(static_cast<std::size_t>(p.num_logical()), 0);
+  }
+
+  // Maps a flat grid-cell id to (row, col, layer) coordinates. Cells are
+  // distributed round-robin across the team, so a team smaller than the
+  // grid still covers every cell (and a larger team leaves threads idle).
+  void set_cell(std::int64_t cell) {
+    const std::int64_t layers = plan.grid_layers(), cols = plan.grid_cols();
+    coord[static_cast<int>(GridAxis::kRow)] = cell / (cols * layers);
+    coord[static_cast<int>(GridAxis::kCol)] = (cell / layers) % cols;
+    coord[static_cast<int>(GridAxis::kLayer)] = cell % layers;
+  }
+
+  std::int64_t level_base(std::size_t li) const {
+    const CompiledLevel& lvl = plan.levels()[li];
+    if (lvl.parent_level < 0) {
+      return plan.loops()[static_cast<std::size_t>(lvl.term.logical)].start;
+    }
+    return cur[static_cast<std::size_t>(lvl.parent_level)];
+  }
+
+  void call_body() {
+    for (int l = 0; l < plan.num_logical(); ++l) {
+      ind[static_cast<std::size_t>(l)] =
+          cur[static_cast<std::size_t>(plan.innermost_level()[static_cast<std::size_t>(l)])];
+    }
+    body(ind.data());
+  }
+
+  void run_level(std::size_t li) {
+    if (li == plan.levels().size()) {
+      call_body();
+      return;
+    }
+    const CompiledLevel& lvl = plan.levels()[li];
+
+    if (lvl.group_head) {
+      run_collapse_group(li);
+      return;
+    }
+
+    if (lvl.term.grid != GridAxis::kNone) {
+      // Block partition of the trip count along this grid axis.
+      const std::int64_t ways = lvl.term.grid_ways;
+      const std::int64_t w = coord[static_cast<int>(lvl.term.grid)];
+      const std::int64_t lo = (lvl.trip * w) / ways;
+      const std::int64_t hi = (lvl.trip * (w + 1)) / ways;
+      const std::int64_t base = level_base(li);
+      for (std::int64_t it = lo; it < hi; ++it) {
+        cur[li] = base + it * lvl.step;
+        run_level(li + 1);
+      }
+      return;
+    }
+
+    // Sequential level (executed redundantly by every thread).
+    const std::int64_t base = level_base(li);
+    for (std::int64_t it = 0; it < lvl.trip; ++it) {
+      cur[li] = base + it * lvl.step;
+      run_level(li + 1);
+    }
+    if (lvl.term.barrier_after && !simulated) thread_barrier();
+  }
+
+  // PAR-MODE 1: flatten the group's (constant) trip counts row-major and
+  // split the flat range across threads. schedule(dynamic,c) is emulated
+  // with cyclic chunk assignment — deterministic, synchronization-free, and
+  // load-balancing like the OpenMP dynamic schedule it stands in for (the
+  // JIT backend emits the real directive).
+  void run_collapse_group(std::size_t head) {
+    const CompiledLevel& h = plan.levels()[head];
+    const int gs = h.group_size;
+    std::int64_t total = 1;
+    for (int g = 0; g < gs; ++g) total *= plan.levels()[head + static_cast<std::size_t>(g)].trip;
+
+    const auto exec_flat = [&](std::int64_t flat) {
+      std::int64_t rem = flat;
+      for (int g = gs - 1; g >= 0; --g) {
+        const std::size_t li = head + static_cast<std::size_t>(g);
+        const CompiledLevel& lvl = plan.levels()[li];
+        const std::int64_t it = rem % lvl.trip;
+        rem /= lvl.trip;
+        // Note: cur[] of an earlier group level may be this level's base, so
+        // bases must be resolved outermost-first; stash step indices first.
+        cur[li] = it;  // temporarily store the step index
+      }
+      for (int g = 0; g < gs; ++g) {
+        const std::size_t li = head + static_cast<std::size_t>(g);
+        const CompiledLevel& lvl = plan.levels()[li];
+        const std::int64_t it = cur[li];
+        cur[li] = level_base(li) + it * lvl.step;
+      }
+      run_level(head + static_cast<std::size_t>(gs));
+    };
+
+    if (plan.parsed().dynamic_schedule) {
+      const std::int64_t chunk = plan.parsed().dynamic_chunk;
+      for (std::int64_t b = tid; b * chunk < total; b += nthreads) {
+        const std::int64_t lo = b * chunk;
+        const std::int64_t hi = std::min(total, lo + chunk);
+        for (std::int64_t f = lo; f < hi; ++f) exec_flat(f);
+      }
+    } else {
+      const std::int64_t per = (total + nthreads - 1) / nthreads;
+      const std::int64_t lo = std::min<std::int64_t>(total, per * tid);
+      const std::int64_t hi = std::min<std::int64_t>(total, lo + per);
+      for (std::int64_t f = lo; f < hi; ++f) exec_flat(f);
+    }
+  }
+};
+
+}  // namespace
+
+void run_interpreter(const LoopNestPlan& plan, const BodyFn& body,
+                     const VoidFn& init, const VoidFn& term) {
+  bool any_parallel = false;
+  for (const CompiledLevel& lvl : plan.levels()) {
+    any_parallel = any_parallel || lvl.term.parallel;
+  }
+  if (!any_parallel) {
+    // No parallel letters: a serial nest. (Running it redundantly on every
+    // thread, as the raw Listing-2 code would, duplicates the computation.)
+    if (init) init();
+    ThreadExec exec(plan, body, 0, 1);
+    exec.run_level(0);
+    if (term) term();
+    return;
+  }
+  parallel_region([&](int tid, int nthreads) {
+    if (init) init();
+    ThreadExec exec(plan, body, tid, nthreads);
+    if (plan.parsed().explicit_grid) {
+      const std::int64_t cells = static_cast<std::int64_t>(plan.grid_rows()) *
+                                 plan.grid_cols() * plan.grid_layers();
+      for (std::int64_t cell = tid; cell < cells; cell += nthreads) {
+        exec.set_cell(cell);
+        exec.run_level(0);
+      }
+    } else {
+      exec.run_level(0);
+    }
+    if (term) term();
+  });
+}
+
+void simulate_thread(const LoopNestPlan& plan, int tid, int nthreads,
+                     const BodyFn& body) {
+  ThreadExec exec(plan, body, tid, nthreads);
+  exec.simulated = true;
+  bool any_parallel = false;
+  for (const CompiledLevel& lvl : plan.levels()) {
+    any_parallel = any_parallel || lvl.term.parallel;
+  }
+  if (!any_parallel) {
+    if (tid == 0) exec.run_level(0);  // serial nests execute on one thread
+    return;
+  }
+  if (plan.parsed().explicit_grid) {
+    const std::int64_t cells = static_cast<std::int64_t>(plan.grid_rows()) *
+                               plan.grid_cols() * plan.grid_layers();
+    for (std::int64_t cell = tid; cell < cells; cell += nthreads) {
+      exec.set_cell(cell);
+      exec.run_level(0);
+    }
+  } else {
+    exec.run_level(0);
+  }
+}
+
+}  // namespace plt::parlooper

@@ -1,0 +1,51 @@
+// Source-JIT backend: emits the target loop-nest instantiation as C++ source
+// (Listing 2 of the paper), invokes the system C++ compiler, dlopens the
+// resulting shared object and memoizes it (in memory and on disk) keyed by
+// the structural spec — "if we request a loop nest with the same
+// loop_spec_string, we merely return the function pointer of the already
+// compiled and cached loop-nest" (Section II-B).
+//
+// Numeric bounds/steps are runtime arguments of the generated entry point,
+// so one compiled artifact serves every problem size with the same spec
+// structure. When no compiler is available the caller falls back to the
+// interpreter executor (identical semantics).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "parlooper/interpreter.hpp"
+#include "parlooper/nest_plan.hpp"
+
+namespace plt::parlooper {
+
+class JitLoop {
+ public:
+  // Returns nullptr when JIT compilation is unavailable or fails (the error
+  // is logged); otherwise a shared, cached handle.
+  static std::shared_ptr<JitLoop> get_or_compile(const LoopNestPlan& plan);
+
+  // True when a usable C++ compiler was found on this host.
+  static bool available();
+
+  // Number of compilations this process performed (tests assert the cache
+  // prevents re-JITting).
+  static std::uint64_t compile_count();
+
+  void run(const LoopNestPlan& plan, const BodyFn& body, const VoidFn& init,
+           const VoidFn& term) const;
+
+  // The generated translation unit (exposed for tests/documentation).
+  static std::string generate_source(const LoopNestPlan& plan);
+
+  ~JitLoop();
+  JitLoop(const JitLoop&) = delete;
+  JitLoop& operator=(const JitLoop&) = delete;
+
+ private:
+  JitLoop() = default;
+  void* dl_handle_ = nullptr;
+  void* entry_ = nullptr;  // plt_jit_entry
+};
+
+}  // namespace plt::parlooper

@@ -1,0 +1,72 @@
+#include "parlooper/nest_plan.hpp"
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace plt::parlooper {
+
+LoopNestPlan::LoopNestPlan(std::vector<LoopSpecs> loops,
+                           const std::string& spec_string)
+    : loops_(std::move(loops)), spec_string_(spec_string) {
+  parsed_ = parse_loop_spec(spec_string, static_cast<int>(loops_.size()));
+  const std::string err = validate_spec(parsed_, loops_);
+  if (!err.empty()) {
+    throw std::invalid_argument("loop_spec_string '" + spec_string +
+                                "' invalid: " + err);
+  }
+
+  levels_.resize(parsed_.terms.size());
+  std::vector<int> last_occurrence_level(loops_.size(), -1);
+  innermost_level_.assign(loops_.size(), -1);
+  total_iterations_ = 1;
+
+  for (std::size_t li = 0; li < parsed_.terms.size(); ++li) {
+    CompiledLevel& lvl = levels_[li];
+    lvl.term = parsed_.terms[li];
+    lvl.step = term_step(parsed_, li, loops_);
+    const LoopSpecs& spec = loops_[static_cast<std::size_t>(lvl.term.logical)];
+    lvl.parent_level = last_occurrence_level[static_cast<std::size_t>(lvl.term.logical)];
+    const std::int64_t extent =
+        lvl.parent_level < 0
+            ? spec.end - spec.start
+            : levels_[static_cast<std::size_t>(lvl.parent_level)].step;
+    PLT_CHECK(extent % lvl.step == 0, "non-perfect nesting slipped validation");
+    lvl.trip = extent / lvl.step;
+    total_iterations_ *= lvl.trip;
+    last_occurrence_level[static_cast<std::size_t>(lvl.term.logical)] =
+        static_cast<int>(li);
+    innermost_level_[static_cast<std::size_t>(lvl.term.logical)] =
+        static_cast<int>(li);
+
+    if (lvl.term.grid == GridAxis::kRow) grid_rows_ = lvl.term.grid_ways;
+    if (lvl.term.grid == GridAxis::kCol) grid_cols_ = lvl.term.grid_ways;
+    if (lvl.term.grid == GridAxis::kLayer) grid_layers_ = lvl.term.grid_ways;
+  }
+
+  // Mark PAR-MODE 1 collapse groups (consecutive implicit-parallel levels).
+  std::size_t li = 0;
+  while (li < levels_.size()) {
+    const bool implicit_par = levels_[li].term.parallel &&
+                              levels_[li].term.grid == GridAxis::kNone;
+    if (!implicit_par) {
+      ++li;
+      continue;
+    }
+    std::size_t gend = li;
+    while (gend < levels_.size() && levels_[gend].term.parallel &&
+           levels_[gend].term.grid == GridAxis::kNone) {
+      ++gend;
+    }
+    levels_[li].group_head = true;
+    levels_[li].group_size = static_cast<int>(gend - li);
+    for (std::size_t g = li; g < gend; ++g) levels_[g].in_group = true;
+    li = gend;
+  }
+}
+
+std::string LoopNestPlan::structural_key() const {
+  return plt::parlooper::structural_key(parsed_, num_logical());
+}
+
+}  // namespace plt::parlooper

@@ -1,0 +1,62 @@
+// Compiled loop-nest plan: the loop IR shared by the interpreter executor
+// and the source-JIT backend. Built once per (declaration, spec string) and
+// cached; numeric bounds stay runtime parameters of execution, mirroring the
+// paper's "blocking lists may be provided at runtime" design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parlooper/loop_spec.hpp"
+
+namespace plt::parlooper {
+
+struct CompiledLevel {
+  LoopTerm term;
+  std::int64_t step = 1;    // step of this occurrence
+  std::int64_t trip = 0;    // constant trip count (in steps)
+  int parent_level = -1;    // previous occurrence of the same letter, or -1
+
+  // PAR-MODE 1 collapse-group bookkeeping.
+  bool group_head = false;
+  int group_size = 0;       // valid at the head
+  bool in_group = false;
+};
+
+class LoopNestPlan {
+ public:
+  LoopNestPlan(std::vector<LoopSpecs> loops, const std::string& spec_string);
+
+  const std::vector<LoopSpecs>& loops() const { return loops_; }
+  const ParsedSpec& parsed() const { return parsed_; }
+  const std::vector<CompiledLevel>& levels() const { return levels_; }
+  int num_logical() const { return static_cast<int>(loops_.size()); }
+  const std::string& spec_string() const { return spec_string_; }
+
+  // Index of the innermost occurrence level per logical loop (the value the
+  // body receives in ind[]).
+  const std::vector<int>& innermost_level() const { return innermost_level_; }
+
+  // PAR-MODE 2 logical thread grid (1 along unused axes).
+  int grid_rows() const { return grid_rows_; }
+  int grid_cols() const { return grid_cols_; }
+  int grid_layers() const { return grid_layers_; }
+
+  // Total body invocations of one execution (product of all trip counts).
+  std::int64_t total_iterations() const { return total_iterations_; }
+
+  // Cache key covering the generated-code structure.
+  std::string structural_key() const;
+
+ private:
+  std::vector<LoopSpecs> loops_;
+  std::string spec_string_;
+  ParsedSpec parsed_;
+  std::vector<CompiledLevel> levels_;
+  std::vector<int> innermost_level_;
+  int grid_rows_ = 1, grid_cols_ = 1, grid_layers_ = 1;
+  std::int64_t total_iterations_ = 0;
+};
+
+}  // namespace plt::parlooper

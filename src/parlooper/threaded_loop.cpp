@@ -1,0 +1,94 @@
+#include "parlooper/threaded_loop.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "parlooper/jit_backend.hpp"
+
+namespace plt::parlooper {
+
+namespace {
+
+// Plan cache: (bounds + spec string) -> compiled plan. Unlike the JIT cache
+// (structural key only), plans bake numeric trip counts, so bounds are part
+// of the key.
+struct PlanRegistry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const LoopNestPlan>> map;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+PlanRegistry& plan_registry() {
+  static PlanRegistry r;
+  return r;
+}
+
+std::string plan_key(const std::vector<LoopSpecs>& loops,
+                     const std::string& spec) {
+  std::ostringstream os;
+  os << spec << '#';
+  for (const LoopSpecs& l : loops) {
+    os << l.start << ',' << l.end << ',' << l.step << '[';
+    for (std::int64_t b : l.block_steps) os << b << ',';
+    os << ']';
+  }
+  return os.str();
+}
+
+bool jit_requested_by_env() {
+  static const bool v = [] {
+    const char* env = std::getenv("PLT_PARLOOPER_JIT");
+    return env != nullptr && env[0] == '1';
+  }();
+  return v;
+}
+
+}  // namespace
+
+PlanCacheStats plan_cache_stats() {
+  PlanRegistry& reg = plan_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return PlanCacheStats{reg.hits, reg.misses};
+}
+
+LoopNest::LoopNest(std::vector<LoopSpecs> loops, const std::string& spec_string,
+                   Backend backend) {
+  const std::string key = plan_key(loops, spec_string);
+  PlanRegistry& reg = plan_registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.map.find(key);
+    if (it != reg.map.end()) {
+      ++reg.hits;
+      plan_ = it->second;
+    }
+  }
+  if (!plan_) {
+    auto plan = std::make_shared<const LoopNestPlan>(std::move(loops), spec_string);
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto [it, inserted] = reg.map.emplace(key, plan);
+    if (inserted) ++reg.misses; else ++reg.hits;
+    plan_ = it->second;
+  }
+
+  const bool want_jit =
+      backend == Backend::kJit ||
+      (backend == Backend::kAuto && jit_requested_by_env());
+  if (want_jit) {
+    jit_ = JitLoop::get_or_compile(*plan_);
+  }
+}
+
+void LoopNest::operator()(const BodyFn& body, const VoidFn& init,
+                          const VoidFn& term) const {
+  if (jit_ != nullptr) {
+    jit_->run(*plan_, body, init, term);
+  } else {
+    run_interpreter(*plan_, body, init, term);
+  }
+}
+
+}  // namespace plt::parlooper

@@ -1,0 +1,67 @@
+// Public PARLOOPER API (Listing 1 of the paper):
+//
+//   auto gemm_loop = ThreadedLoop<3>({
+//       LoopSpecs{0, Kb, k_step, {l1_k_step, l0_k_step}},   // "a"
+//       LoopSpecs{0, Mb, m_step, {l1_m_step, l0_m_step}},   // "b"
+//       LoopSpecs{0, Nb, n_step, {l1_n_step, l0_n_step}}},  // "c"
+//       loop_spec_string);
+//   gemm_loop([&](const int64_t* ind) { ... });
+//
+// The spec string selects loop order, blockings and parallelization at
+// runtime with zero user-code change. Plans (and, when enabled, the JITed
+// loop functions) are cached so repeated construction with the same spec is
+// a lookup, not a re-JIT.
+//
+// Backend selection: the interpreter executor is the default; setting the
+// environment variable PLT_PARLOOPER_JIT=1 (or passing Backend::kJit)
+// switches to the source-JIT backend with interpreter fallback.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "parlooper/interpreter.hpp"
+#include "parlooper/nest_plan.hpp"
+
+namespace plt::parlooper {
+
+enum class Backend { kAuto, kInterpreter, kJit };
+
+class LoopNest {
+ public:
+  LoopNest(std::vector<LoopSpecs> loops, const std::string& spec_string,
+           Backend backend = Backend::kAuto);
+
+  void operator()(const BodyFn& body, const VoidFn& init = {},
+                  const VoidFn& term = {}) const;
+
+  const LoopNestPlan& plan() const { return *plan_; }
+  bool using_jit() const { return jit_ != nullptr; }
+
+ private:
+  std::shared_ptr<const LoopNestPlan> plan_;
+  std::shared_ptr<const class JitLoop> jit_;  // null => interpreter
+};
+
+// Paper-style sugar: the template parameter documents (and checks) the
+// number of logical loops at the call site.
+template <int N>
+class ThreadedLoop : public LoopNest {
+ public:
+  ThreadedLoop(std::array<LoopSpecs, static_cast<std::size_t>(N)> specs,
+               const std::string& spec_string, Backend backend = Backend::kAuto)
+      : LoopNest(std::vector<LoopSpecs>(specs.begin(), specs.end()),
+                 spec_string, backend) {
+    static_assert(N >= 1 && N <= 26, "1..26 logical loops");
+  }
+};
+
+// Number of plan constructions that found a cached plan vs built a new one
+// (Section II-B's "avoid JIT overheads whenever possible" caching claim).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+PlanCacheStats plan_cache_stats();
+
+}  // namespace plt::parlooper

@@ -1,0 +1,104 @@
+#include "perfmodel/cache_model.hpp"
+
+#include "common/check.hpp"
+
+namespace plt::perfmodel {
+
+PlatformModel PlatformModel::spr_like() {
+  PlatformModel p;
+  p.name = "spr-like";
+  p.caches = {{48 << 10, 64.0}, {2 << 20, 32.0}, {3932160 /* ~3.75MB/core */, 12.0}};
+  p.mem_bytes_per_cycle = 3.0;
+  p.fp32_flops_per_cycle = 64.0;    // 2x AVX-512 FMA
+  p.bf16_flops_per_cycle = 512.0;   // AMX tile engine
+  p.cores = 56;
+  return p;
+}
+
+PlatformModel PlatformModel::gvt3_like() {
+  PlatformModel p;
+  p.name = "gvt3-like";
+  p.caches = {{64 << 10, 48.0}, {1 << 20, 24.0}, {512 << 10, 10.0}};
+  p.mem_bytes_per_cycle = 4.0;
+  p.fp32_flops_per_cycle = 32.0;    // 4x SVE256 FMA lanes
+  p.bf16_flops_per_cycle = 128.0;   // BF16 MMLA
+  p.cores = 64;
+  return p;
+}
+
+PlatformModel PlatformModel::zen4_like() {
+  PlatformModel p;
+  p.name = "zen4-like";
+  p.caches = {{32 << 10, 64.0}, {1 << 20, 32.0}, {2 << 20, 12.0}};
+  p.mem_bytes_per_cycle = 2.0;      // 2-channel desktop memory
+  p.fp32_flops_per_cycle = 32.0;    // AVX-512 at half rate (double-pumped)
+  p.bf16_flops_per_cycle = 64.0;    // AVX512-BF16 FMA
+  p.cores = 16;
+  return p;
+}
+
+PlatformModel PlatformModel::adl_like() {
+  PlatformModel p;
+  p.name = "adl-like";
+  p.caches = {{48 << 10, 48.0}, {1280 << 10, 24.0}, {3 << 20, 10.0}};
+  p.mem_bytes_per_cycle = 2.5;
+  p.fp32_flops_per_cycle = 32.0;    // AVX2-era peak on the P cores
+  p.bf16_flops_per_cycle = 32.0;    // no bf16 acceleration
+  p.cores = 16;                     // 8P + 8E
+  return p;
+}
+
+LruCacheSim::LruCacheSim(const std::vector<CacheLevelConfig>& levels)
+    : levels_(levels) {
+  PLT_CHECK(!levels_.empty() && levels_.size() <= 3,
+            "cache sim: 1..3 levels");
+  state_.resize(levels_.size());
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    state_[i].capacity = levels_[i].size_bytes;
+  }
+  hits_.assign(levels_.size() + 1, 0);
+}
+
+void LruCacheSim::reset() {
+  for (Level& l : state_) {
+    l.lru.clear();
+    l.map.clear();
+    l.used = 0;
+  }
+  hits_.assign(levels_.size() + 1, 0);
+}
+
+void LruCacheSim::insert(Level& lvl, std::uint64_t slice, std::int64_t bytes) {
+  auto it = lvl.map.find(slice);
+  if (it != lvl.map.end()) {
+    lvl.used -= it->second->second;
+    lvl.lru.erase(it->second);
+    lvl.map.erase(it);
+  }
+  // A slice larger than the level simply bypasses it.
+  if (bytes > lvl.capacity) return;
+  while (lvl.used + bytes > lvl.capacity && !lvl.lru.empty()) {
+    auto& victim = lvl.lru.back();
+    lvl.used -= victim.second;
+    lvl.map.erase(victim.first);
+    lvl.lru.pop_back();
+  }
+  lvl.lru.emplace_front(slice, bytes);
+  lvl.map.emplace(slice, lvl.lru.begin());
+  lvl.used += bytes;
+}
+
+int LruCacheSim::access(std::uint64_t slice, std::int64_t bytes) {
+  int found = levels();  // memory by default
+  for (int l = 0; l < levels(); ++l) {
+    if (state_[static_cast<std::size_t>(l)].map.count(slice)) {
+      found = l;
+      break;
+    }
+  }
+  ++hits_[static_cast<std::size_t>(found)];
+  for (Level& lvl : state_) insert(lvl, slice, bytes);
+  return found;
+}
+
+}  // namespace plt::perfmodel

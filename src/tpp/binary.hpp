@@ -1,0 +1,30 @@
+// Binary TPPs: elementwise combine of two 2D tensors with optional broadcast
+// of input 0 (bias-add is BinaryKind::kAdd with Broadcast::kRow).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "tpp/tpp_types.hpp"
+
+namespace plt::tpp {
+
+class BinaryTPP {
+ public:
+  explicit BinaryTPP(BinaryDesc desc);
+  BinaryTPP(BinaryKind kind, std::int64_t rows, std::int64_t cols,
+            DType dt = DType::F32, Broadcast bcast0 = Broadcast::kNone);
+
+  // out(i,j) = op(in0(i,j) [broadcast], in1(i,j))
+  void operator()(const void* in0, const void* in1, void* out) const;
+
+  const BinaryDesc& desc() const { return desc_; }
+
+ private:
+  BinaryDesc desc_;
+  std::shared_ptr<std::function<void(const void*, const void*, void*)>> fn_;
+};
+
+float binary_scalar_op(BinaryKind kind, float a, float b);
+
+}  // namespace plt::tpp

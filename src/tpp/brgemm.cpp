@@ -1,0 +1,197 @@
+#include "tpp/brgemm.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/cpu_features.hpp"
+
+namespace plt::tpp {
+
+namespace {
+
+detail::F32Micro pick_f32_micro() {
+  switch (effective_isa()) {
+#if defined(PLT_KERNELS_AVX512)
+    case IsaLevel::kAVX512BF16:
+    case IsaLevel::kAVX512:
+      return detail::gemm_f32_avx512;
+#endif
+#if defined(PLT_KERNELS_AVX2)
+    case IsaLevel::kAVX2:
+      return detail::gemm_f32_avx2;
+#endif
+    default:
+      return detail::gemm_f32_ref;
+  }
+}
+
+detail::Bf16Micro pick_bf16_vnni_micro() {
+  switch (effective_isa()) {
+#if defined(PLT_KERNELS_AVX512BF16)
+    case IsaLevel::kAVX512BF16:
+      return detail::gemm_bf16_vnni_avx512bf16;
+#endif
+#if defined(PLT_KERNELS_AVX512)
+    case IsaLevel::kAVX512:
+#if !defined(PLT_KERNELS_AVX512BF16)
+    case IsaLevel::kAVX512BF16:
+#endif
+      return detail::gemm_bf16_vnni_avx512;
+#endif
+    default:
+      return detail::gemm_bf16_vnni_ref;
+  }
+}
+
+// Per-thread fp32 scratch tile used when C is stored in bf16.
+float* scratch_tile(std::size_t elems) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < elems) buf.resize(elems);
+  return buf.data();
+}
+
+}  // namespace
+
+BrgemmTPP::BrgemmTPP(BrgemmDesc desc) : desc_(desc) {
+  PLT_CHECK(desc_.m > 0 && desc_.n > 0 && desc_.k > 0, "brgemm: empty shape");
+  PLT_CHECK(desc_.beta == 0.0f || desc_.beta == 1.0f,
+            "brgemm: beta must be 0 or 1");
+  if (desc_.lda == 0) desc_.lda = desc_.m;
+  if (desc_.ldb == 0) desc_.ldb = desc_.k;
+  if (desc_.ldc == 0) desc_.ldc = desc_.m;
+  const bool f32_all = desc_.a == DType::F32 && desc_.b == DType::F32 &&
+                       (desc_.c == DType::F32 || desc_.c == DType::BF16);
+  const bool bf16_in = desc_.a == DType::BF16 && desc_.b == DType::BF16 &&
+                       (desc_.c == DType::F32 || desc_.c == DType::BF16);
+  PLT_CHECK(f32_all || bf16_in, "brgemm: unsupported dtype combination");
+  if (f32_all) {
+    PLT_CHECK(desc_.a_layout == ALayout::kFlat,
+              "brgemm: VNNI layout is a low-precision feature");
+    f32_micro_ = pick_f32_micro();
+  } else {
+    bf16_micro_ = desc_.a_layout == ALayout::kVnni2
+                      ? pick_bf16_vnni_micro()
+                      : detail::gemm_bf16_flat_ref;
+  }
+}
+
+BrgemmTPP::BrgemmTPP(std::int64_t m, std::int64_t n, std::int64_t k,
+                     std::int64_t stride_a, std::int64_t stride_b, float beta,
+                     DType a, DType b, DType c, ALayout a_layout)
+    : BrgemmTPP(BrgemmDesc{m, n, k, 0, 0, 0, a, b, c, beta,
+                           BrgemmVariant::kStride, a_layout, stride_a,
+                           stride_b}) {}
+
+template <typename NextA, typename NextB>
+void BrgemmTPP::run_generic(NextA&& next_a, NextB&& next_b, void* c,
+                            std::int64_t brcount) const {
+  const detail::MicroArgs args{desc_.m, desc_.n, desc_.k,
+                               desc_.lda, desc_.ldb, desc_.ldc};
+  const bool c_is_bf16 = desc_.c == DType::BF16;
+
+  if (brcount <= 0) {
+    if (desc_.beta == 0.0f) {
+      // libxsmm semantics: beta=0 with an empty batch still zeroes C.
+      if (c_is_bf16) {
+        bf16* cp = static_cast<bf16*>(c);
+        for (std::int64_t j = 0; j < desc_.n; ++j)
+          std::memset(static_cast<void*>(cp + j * desc_.ldc), 0,
+                      sizeof(bf16) * desc_.m);
+      } else {
+        float* cp = static_cast<float*>(c);
+        for (std::int64_t j = 0; j < desc_.n; ++j)
+          std::memset(cp + j * desc_.ldc, 0, sizeof(float) * desc_.m);
+      }
+    }
+    return;
+  }
+
+  float* cacc = nullptr;
+  std::int64_t ldc_acc = desc_.ldc;
+  if (c_is_bf16) {
+    cacc = scratch_tile(static_cast<std::size_t>(desc_.m) * desc_.n);
+    ldc_acc = desc_.m;
+    const bf16* cp = static_cast<const bf16*>(c);
+    if (desc_.beta == 1.0f) {
+      for (std::int64_t j = 0; j < desc_.n; ++j)
+        for (std::int64_t i = 0; i < desc_.m; ++i)
+          cacc[i + j * ldc_acc] = cp[i + j * desc_.ldc].to_f32();
+    }
+  } else {
+    cacc = static_cast<float*>(c);
+  }
+
+  detail::MicroArgs acc_args = args;
+  acc_args.ldc = ldc_acc;
+
+  for (std::int64_t i = 0; i < brcount; ++i) {
+    // The first term overwrites when beta==0 (for bf16 C the scratch tile is
+    // only pre-seeded when beta==1, so the same rule applies to it).
+    const bool acc = (i > 0) || desc_.beta == 1.0f;
+    if (f32_micro_ != nullptr) {
+      f32_micro_(acc_args, static_cast<const float*>(next_a(i)),
+                 static_cast<const float*>(next_b(i)), cacc, acc);
+    } else {
+      bf16_micro_(acc_args, static_cast<const bf16*>(next_a(i)),
+                  static_cast<const bf16*>(next_b(i)), cacc, acc);
+    }
+  }
+
+  if (c_is_bf16) {
+    bf16* cp = static_cast<bf16*>(c);
+    for (std::int64_t j = 0; j < desc_.n; ++j)
+      for (std::int64_t i = 0; i < desc_.m; ++i)
+        cp[i + j * desc_.ldc] = bf16::from_f32(cacc[i + j * ldc_acc]);
+  }
+}
+
+void BrgemmTPP::operator()(const void* a, const void* b, void* c,
+                           std::int64_t brcount) const {
+  PLT_DCHECK(desc_.variant == BrgemmVariant::kStride,
+             "brgemm: operator() is the stride variant");
+  const std::size_t esz_a = dtype_size(desc_.a);
+  const std::size_t esz_b = dtype_size(desc_.b);
+  const char* ap = static_cast<const char*>(a);
+  const char* bp = static_cast<const char*>(b);
+  run_generic(
+      [&](std::int64_t i) -> const void* {
+        return ap + static_cast<std::size_t>(i) * desc_.stride_a * esz_a;
+      },
+      [&](std::int64_t i) -> const void* {
+        return bp + static_cast<std::size_t>(i) * desc_.stride_b * esz_b;
+      },
+      c, brcount);
+}
+
+void BrgemmTPP::run_address(const void* const* a, const void* const* b,
+                            void* c, std::int64_t brcount) const {
+  run_generic([&](std::int64_t i) { return a[i]; },
+              [&](std::int64_t i) { return b[i]; }, c, brcount);
+}
+
+void BrgemmTPP::run_offset(const void* a, const void* b, void* c,
+                           const std::int64_t* offs_a,
+                           const std::int64_t* offs_b,
+                           std::int64_t brcount) const {
+  const std::size_t esz_a = dtype_size(desc_.a);
+  const std::size_t esz_b = dtype_size(desc_.b);
+  const char* ap = static_cast<const char*>(a);
+  const char* bp = static_cast<const char*>(b);
+  run_generic(
+      [&](std::int64_t i) -> const void* {
+        return ap + static_cast<std::size_t>(offs_a[i]) * esz_a;
+      },
+      [&](std::int64_t i) -> const void* {
+        return bp + static_cast<std::size_t>(offs_b[i]) * esz_b;
+      },
+      c, brcount);
+}
+
+GemmTPP::GemmTPP(std::int64_t m, std::int64_t n, std::int64_t k, float beta,
+                 DType a, DType b, DType c, ALayout a_layout, std::int64_t lda,
+                 std::int64_t ldb, std::int64_t ldc)
+    : impl_(BrgemmDesc{m, n, k, lda, ldb, ldc, a, b, c, beta,
+                       BrgemmVariant::kStride, a_layout, 0, 0}) {}
+
+}  // namespace plt::tpp

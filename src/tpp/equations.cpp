@@ -1,0 +1,163 @@
+#include "tpp/equations.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace plt::tpp {
+
+template <typename TI, typename TO>
+void softmax_rows(const TI* in, TO* out, std::int64_t rows, std::int64_t cols,
+                  std::int64_t ldi, std::int64_t ldo) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const TI* ri = in + r * ldi;
+    TO* ro = out + r * ldo;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, load_f32(&ri[c]));
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(load_f32(&ri[c]) - mx);
+      store_f32(&ro[c], e);
+      sum += e;
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t c = 0; c < cols; ++c)
+      store_f32(&ro[c], load_f32(&ro[c]) * inv);
+  }
+}
+
+template void softmax_rows<float, float>(const float*, float*, std::int64_t,
+                                         std::int64_t, std::int64_t,
+                                         std::int64_t);
+template void softmax_rows<bf16, bf16>(const bf16*, bf16*, std::int64_t,
+                                       std::int64_t, std::int64_t,
+                                       std::int64_t);
+template void softmax_rows<float, bf16>(const float*, bf16*, std::int64_t,
+                                        std::int64_t, std::int64_t,
+                                        std::int64_t);
+
+void softmax_scale_mask_rows(const float* in, float* out, std::int64_t rows,
+                             std::int64_t cols, std::int64_t ldi,
+                             std::int64_t ldo, float scale,
+                             const std::int32_t* valid_cols) {
+  const float kNegInf = -std::numeric_limits<float>::infinity();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* ri = in + r * ldi;
+    float* ro = out + r * ldo;
+    const std::int64_t valid = valid_cols ? valid_cols[r] : cols;
+    float mx = kNegInf;
+    for (std::int64_t c = 0; c < valid; ++c) mx = std::max(mx, ri[c] * scale);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (c < valid) {
+        const float e = std::exp(ri[c] * scale - mx);
+        ro[c] = e;
+        sum += e;
+      } else {
+        ro[c] = 0.0f;
+      }
+    }
+    const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
+    for (std::int64_t c = 0; c < valid; ++c) ro[c] *= inv;
+  }
+}
+
+void softmax_rows_bwd(const float* grad_out, const float* out, float* grad_in,
+                      std::int64_t rows, std::int64_t cols, std::int64_t ld) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* g = grad_out + r * ld;
+    const float* o = out + r * ld;
+    float* gi = grad_in + r * ld;
+    float dot = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) dot += g[c] * o[c];
+    for (std::int64_t c = 0; c < cols; ++c) gi[c] = (g[c] - dot) * o[c];
+  }
+}
+
+void LayerNormFwd::operator()(const float* in, const float* gamma,
+                              const float* beta, float* mean, float* var,
+                              float* out, std::int64_t ld) const {
+  if (ld == 0) ld = cols;
+  const float inv_n = 1.0f / static_cast<float>(cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* ri = in + r * ld;
+    float* ro = out + r * ld;
+    float mu = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) mu += ri[c];
+    mu *= inv_n;
+    float v = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float d = ri[c] - mu;
+      v += d * d;
+    }
+    v *= inv_n;
+    mean[r] = mu;
+    var[r] = v;
+    const float rstd = 1.0f / std::sqrt(v + eps);
+    for (std::int64_t c = 0; c < cols; ++c)
+      ro[c] = (ri[c] - mu) * rstd * gamma[c] + beta[c];
+  }
+}
+
+void LayerNormBwd::operator()(const float* grad_out, const float* in,
+                              const float* gamma, const float* mean,
+                              const float* var, float* grad_in, float* dgamma,
+                              float* dbeta, std::int64_t ld) const {
+  if (ld == 0) ld = cols;
+  const float inv_n = 1.0f / static_cast<float>(cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* g = grad_out + r * ld;
+    const float* x = in + r * ld;
+    float* gi = grad_in + r * ld;
+    const float mu = mean[r];
+    const float rstd = 1.0f / std::sqrt(var[r] + 1e-5f);
+    // Two row reductions feed the classic layernorm backward formula.
+    float sum_g = 0.0f, sum_gx = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float xhat = (x[c] - mu) * rstd;
+      const float gg = g[c] * gamma[c];
+      sum_g += gg;
+      sum_gx += gg * xhat;
+      dgamma[c] += g[c] * xhat;
+      dbeta[c] += g[c];
+    }
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float xhat = (x[c] - mu) * rstd;
+      const float gg = g[c] * gamma[c];
+      gi[c] = (gg - inv_n * (sum_g + xhat * sum_gx)) * rstd;
+    }
+  }
+}
+
+void DropoutFwd::operator()(const float* in, Xoshiro256& rng, float* out,
+                            std::uint8_t* mask, std::int64_t ld) const {
+  if (ld == 0) ld = cols;
+  PLT_CHECK(p >= 0.0f && p < 1.0f, "dropout: p must be in [0, 1)");
+  const float scale = 1.0f / (1.0f - p);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* ri = in + r * ld;
+    float* ro = out + r * ld;
+    std::uint8_t* mr = mask + r * ld;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const bool keep = rng.next_float() >= p;
+      mr[c] = keep ? 1 : 0;
+      ro[c] = keep ? ri[c] * scale : 0.0f;
+    }
+  }
+}
+
+void DropoutBwd::operator()(const float* grad_out, const std::uint8_t* mask,
+                            float* grad_in, std::int64_t ld) const {
+  if (ld == 0) ld = cols;
+  const float scale = 1.0f / (1.0f - p);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* g = grad_out + r * ld;
+    const std::uint8_t* mr = mask + r * ld;
+    float* gi = grad_in + r * ld;
+    for (std::int64_t c = 0; c < cols; ++c)
+      gi[c] = mr[c] ? g[c] * scale : 0.0f;
+  }
+}
+
+}  // namespace plt::tpp

@@ -1,0 +1,75 @@
+// "Equation" TPPs: small fused operator DAGs the paper uses inside the BERT
+// modules (softmax blocks, layernorm-equation, dropout with RNG state;
+// Listing 6 and Section IV-A). These operate on row-major 2D tiles
+// (rows = tokens, cols = features) because that is how the DL workloads
+// slice their activations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bf16.hpp"
+#include "common/rng.hpp"
+
+namespace plt::tpp {
+
+// Row-wise numerically-stable softmax: out[r, :] = softmax(in[r, :]).
+// Row-major: element (r, c) at p[r * ld + c].
+template <typename TI, typename TO>
+void softmax_rows(const TI* in, TO* out, std::int64_t rows, std::int64_t cols,
+                  std::int64_t ldi, std::int64_t ldo);
+
+// Fused scale+mask+softmax used by attention: logits are multiplied by
+// `scale` and positions c >= valid_cols[r] are masked to -inf before the
+// softmax (nullptr valid_cols => no masking).
+void softmax_scale_mask_rows(const float* in, float* out, std::int64_t rows,
+                             std::int64_t cols, std::int64_t ldi,
+                             std::int64_t ldo, float scale,
+                             const std::int32_t* valid_cols);
+
+// Layer normalization over each row (the layernorm_tpp_eqn of Listing 6).
+// mean/var (rows) are stored for the backward pass.
+struct LayerNormFwd {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  float eps = 1e-5f;
+
+  void operator()(const float* in, const float* gamma, const float* beta,
+                  float* mean, float* var, float* out,
+                  std::int64_t ld = 0) const;
+};
+
+struct LayerNormBwd {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  // dgamma/dbeta are accumulated (caller zeroes them before the first tile).
+  void operator()(const float* grad_out, const float* in, const float* gamma,
+                  const float* mean, const float* var, float* grad_in,
+                  float* dgamma, float* dbeta, std::int64_t ld = 0) const;
+};
+
+// Dropout with explicit RNG state and a saved byte mask (1 = kept), matching
+// the dropout_tpp(get_rng_state()) call of Listing 6. Scale is 1/(1-p).
+struct DropoutFwd {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  float p = 0.0f;
+
+  void operator()(const float* in, Xoshiro256& rng, float* out,
+                  std::uint8_t* mask, std::int64_t ld = 0) const;
+};
+
+struct DropoutBwd {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  float p = 0.0f;
+
+  void operator()(const float* grad_out, const std::uint8_t* mask,
+                  float* grad_in, std::int64_t ld = 0) const;
+};
+
+// Softmax backward over rows: grad_in = (grad_out - sum(grad_out*out)) * out.
+void softmax_rows_bwd(const float* grad_out, const float* out, float* grad_in,
+                      std::int64_t rows, std::int64_t cols, std::int64_t ld);
+
+}  // namespace plt::tpp

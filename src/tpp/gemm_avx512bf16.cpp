@@ -1,0 +1,66 @@
+// AVX-512-BF16 microkernel using the native vdpbf16ps dot-product — the
+// x86 "hardware-accelerated tensor contraction" path of the paper (the AMX
+// tile engine is substituted by this per DESIGN.md). Compiled with
+// -mavx512bf16; referenced only when CPUID reports the feature.
+#include "tpp/gemm_micro.hpp"
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace plt::tpp::detail {
+
+namespace {
+
+// Broadcast the (2p, 2p+1) bf16 pair of column j as one 32-bit granule. For
+// full pairs this is a single vpbroadcastd from memory; only the odd-k tail
+// pair needs assembly (its high half is zero-padded).
+inline __m512i broadcast_pair(const bf16* bj, std::int64_t p, std::int64_t k) {
+  if (2 * p + 1 < k) {
+    std::int32_t word;
+    std::memcpy(&word, bj + 2 * p, sizeof(word));
+    return _mm512_set1_epi32(word);
+  }
+  return _mm512_set1_epi32(static_cast<std::int32_t>(bj[2 * p].bits));
+}
+
+// NB output columns share every A tile load (2D register blocking, [21]).
+template <int NB>
+void block_n(const MicroArgs& s, const bf16* a, const bf16* b, float* c,
+             bool acc, std::int64_t j0) {
+  const std::int64_t kp = (s.k + 1) / 2;
+  for (std::int64_t i = 0; i < s.m; i += 16) {
+    const std::int64_t rem = s.m - i;
+    const __mmask16 mask =
+        rem >= 16 ? 0xffffu : static_cast<__mmask16>((1u << rem) - 1u);
+    __m512 accv[NB];
+    for (int jj = 0; jj < NB; ++jj) {
+      accv[jj] = acc ? _mm512_maskz_loadu_ps(mask, c + i + (j0 + jj) * s.ldc)
+                     : _mm512_setzero_ps();
+    }
+    for (std::int64_t p = 0; p < kp; ++p) {
+      const __m512i packed = _mm512_maskz_loadu_epi32(
+          mask, reinterpret_cast<const std::int32_t*>(a + (p * s.lda + i) * 2));
+      for (int jj = 0; jj < NB; ++jj) {
+        const __m512i bv = broadcast_pair(b + (j0 + jj) * s.ldb, p, s.k);
+        accv[jj] = _mm512_dpbf16_ps(accv[jj], reinterpret_cast<__m512bh>(packed),
+                                    reinterpret_cast<__m512bh>(bv));
+      }
+    }
+    for (int jj = 0; jj < NB; ++jj) {
+      _mm512_mask_storeu_ps(c + i + (j0 + jj) * s.ldc, mask, accv[jj]);
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_bf16_vnni_avx512bf16(const MicroArgs& s, const bf16* a,
+                               const bf16* b, float* c, bool acc) {
+  std::int64_t j = 0;
+  for (; j + 4 <= s.n; j += 4) block_n<4>(s, a, b, c, acc, j);
+  for (; j + 2 <= s.n; j += 2) block_n<2>(s, a, b, c, acc, j);
+  for (; j < s.n; ++j) block_n<1>(s, a, b, c, acc, j);
+}
+
+}  // namespace plt::tpp::detail

@@ -1,0 +1,52 @@
+// Internal microkernel entry points for the (BR)GEMM TPP.
+//
+// One entry per ISA level, all with identical semantics:
+//   C(m x n, col-major ldc) {=, +=} A(m x k) * B(k x n)
+// where `acc` selects overwrite (false) vs accumulate (true). A is col-major
+// (lda) in the flat layout, or VNNI2-packed ([ceil(k/2)][m][2], lda = m
+// stride in pairs) for the low-precision fast paths. B is always col-major
+// (ldb). bf16 inputs accumulate into an fp32 C tile; the caller converts.
+//
+// Declarations are unconditional; definitions for the vector paths live in
+// per-ISA translation units compiled with the matching -m flags, and the
+// selector in brgemm.cpp only references them when the corresponding
+// PLT_KERNELS_* macro is on (the same macros gate cpu_features.cpp, so a
+// kernel is referenced iff it is compiled).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bf16.hpp"
+
+namespace plt::tpp::detail {
+
+struct MicroArgs {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+  std::int64_t lda = 0;
+  std::int64_t ldb = 0;
+  std::int64_t ldc = 0;
+};
+
+using F32Micro = void (*)(const MicroArgs&, const float* a, const float* b,
+                          float* c, bool acc);
+using Bf16Micro = void (*)(const MicroArgs&, const bf16* a, const bf16* b,
+                           float* c, bool acc);
+
+// Scalar reference paths (always available; numerics ground truth).
+void gemm_f32_ref(const MicroArgs&, const float*, const float*, float*, bool);
+void gemm_bf16_flat_ref(const MicroArgs&, const bf16*, const bf16*, float*, bool);
+void gemm_bf16_vnni_ref(const MicroArgs&, const bf16*, const bf16*, float*, bool);
+
+// AVX2 + FMA.
+void gemm_f32_avx2(const MicroArgs&, const float*, const float*, float*, bool);
+
+// AVX-512 (F/BW/VL/DQ).
+void gemm_f32_avx512(const MicroArgs&, const float*, const float*, float*, bool);
+void gemm_bf16_vnni_avx512(const MicroArgs&, const bf16*, const bf16*, float*, bool);
+
+// AVX-512 BF16 (vdpbf16ps).
+void gemm_bf16_vnni_avx512bf16(const MicroArgs&, const bf16*, const bf16*, float*, bool);
+
+}  // namespace plt::tpp::detail

@@ -1,0 +1,216 @@
+#include "tpp/spmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "tpp/transforms.hpp"
+
+namespace plt::tpp {
+
+namespace {
+
+std::int64_t stored_block_elems(DType dt, std::int64_t bm, std::int64_t bk) {
+  return dt == DType::BF16 ? vnni2_elems(bm, bk) : bm * bk;
+}
+
+}  // namespace
+
+BcscMatrix BcscMatrix::build(const float* dense, std::int64_t M,
+                             std::int64_t K, std::int64_t bm, std::int64_t bk,
+                             DType store, const std::vector<std::uint8_t>& keep) {
+  PLT_CHECK(M % bm == 0 && K % bk == 0, "BCSC: block sizes must divide shape");
+  PLT_CHECK(store == DType::F32 || store == DType::BF16,
+            "BCSC: blocks are f32 or bf16");
+  BcscMatrix a;
+  a.M_ = M;
+  a.K_ = K;
+  a.bm_ = bm;
+  a.bk_ = bk;
+  a.dtype_ = store;
+  a.block_elems_ = stored_block_elems(store, bm, bk);
+  a.block_bytes_ = static_cast<std::size_t>(a.block_elems_) * dtype_size(store);
+
+  const std::int64_t Mb = M / bm, Kb = K / bk;
+  a.col_ptr_.assign(static_cast<std::size_t>(Mb) + 1, 0);
+  std::int64_t nnz = 0;
+  for (std::int64_t im = 0; im < Mb; ++im) {
+    for (std::int64_t ik = 0; ik < Kb; ++ik) {
+      if (keep[static_cast<std::size_t>(im * Kb + ik)]) ++nnz;
+    }
+    a.col_ptr_[static_cast<std::size_t>(im) + 1] = nnz;
+  }
+  a.row_idx_.reserve(static_cast<std::size_t>(nnz));
+  a.vals_.resize(static_cast<std::size_t>(nnz) * a.block_bytes_);
+
+  std::vector<bf16> flat_bf16;
+  if (store == DType::BF16) flat_bf16.resize(static_cast<std::size_t>(bm * bk));
+
+  std::int64_t nz = 0;
+  for (std::int64_t im = 0; im < Mb; ++im) {
+    for (std::int64_t ik = 0; ik < Kb; ++ik) {
+      if (!keep[static_cast<std::size_t>(im * Kb + ik)]) continue;
+      std::uint8_t* dst = a.vals_.data() + static_cast<std::size_t>(nz) * a.block_bytes_;
+      if (store == DType::F32) {
+        float* fb = reinterpret_cast<float*>(dst);
+        for (std::int64_t kk = 0; kk < bk; ++kk)
+          for (std::int64_t mm = 0; mm < bm; ++mm)
+            fb[mm + kk * bm] = dense[(im * bm + mm) + (ik * bk + kk) * M];
+      } else {
+        for (std::int64_t kk = 0; kk < bk; ++kk)
+          for (std::int64_t mm = 0; mm < bm; ++mm)
+            flat_bf16[static_cast<std::size_t>(mm + kk * bm)] =
+                bf16::from_f32(dense[(im * bm + mm) + (ik * bk + kk) * M]);
+        vnni2_pack(flat_bf16.data(), reinterpret_cast<bf16*>(dst), bm, bk, bm);
+      }
+      a.row_idx_.push_back(static_cast<std::int32_t>(ik));
+      ++nz;
+    }
+  }
+  return a;
+}
+
+BcscMatrix BcscMatrix::from_dense(const float* dense, std::int64_t M,
+                                  std::int64_t K, std::int64_t bm,
+                                  std::int64_t bk, DType store,
+                                  float zero_tol) {
+  const std::int64_t Mb = M / bm, Kb = K / bk;
+  std::vector<std::uint8_t> keep(static_cast<std::size_t>(Mb * Kb), 0);
+  for (std::int64_t im = 0; im < Mb; ++im)
+    for (std::int64_t ik = 0; ik < Kb; ++ik) {
+      float mx = 0.0f;
+      for (std::int64_t kk = 0; kk < bk; ++kk)
+        for (std::int64_t mm = 0; mm < bm; ++mm)
+          mx = std::max(mx, std::fabs(dense[(im * bm + mm) + (ik * bk + kk) * M]));
+      keep[static_cast<std::size_t>(im * Kb + ik)] = mx > zero_tol ? 1 : 0;
+    }
+  return build(dense, M, K, bm, bk, store, keep);
+}
+
+BcscMatrix BcscMatrix::prune_from_dense(const float* dense, std::int64_t M,
+                                        std::int64_t K, std::int64_t bm,
+                                        std::int64_t bk, DType store,
+                                        double sparsity) {
+  PLT_CHECK(sparsity >= 0.0 && sparsity < 1.0, "BCSC: sparsity in [0,1)");
+  const std::int64_t Mb = M / bm, Kb = K / bk;
+  const std::int64_t nblocks = Mb * Kb;
+  std::vector<std::pair<float, std::int64_t>> norms;
+  norms.reserve(static_cast<std::size_t>(nblocks));
+  for (std::int64_t im = 0; im < Mb; ++im)
+    for (std::int64_t ik = 0; ik < Kb; ++ik) {
+      float nrm = 0.0f;
+      for (std::int64_t kk = 0; kk < bk; ++kk)
+        for (std::int64_t mm = 0; mm < bm; ++mm) {
+          const float v = dense[(im * bm + mm) + (ik * bk + kk) * M];
+          nrm += v * v;
+        }
+      norms.emplace_back(nrm, im * Kb + ik);
+    }
+  const std::int64_t keep_n = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround((1.0 - sparsity) * static_cast<double>(nblocks))));
+  std::nth_element(norms.begin(), norms.begin() + (keep_n - 1), norms.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::uint8_t> keep(static_cast<std::size_t>(nblocks), 0);
+  for (std::int64_t i = 0; i < keep_n; ++i)
+    keep[static_cast<std::size_t>(norms[static_cast<std::size_t>(i)].second)] = 1;
+  return build(dense, M, K, bm, bk, store, keep);
+}
+
+BcscMatrix BcscMatrix::random(std::int64_t M, std::int64_t K, std::int64_t bm,
+                              std::int64_t bk, DType store, double sparsity,
+                              Xoshiro256& rng) {
+  std::vector<float> dense(static_cast<std::size_t>(M * K));
+  fill_uniform(dense.data(), dense.size(), rng, -0.5f, 0.5f);
+  const std::int64_t Mb = M / bm, Kb = K / bk;
+  std::vector<std::uint8_t> keep(static_cast<std::size_t>(Mb * Kb));
+  for (auto& k : keep) k = rng.next_double() >= sparsity ? 1 : 0;
+  return build(dense.data(), M, K, bm, bk, store, keep);
+}
+
+void BcscMatrix::to_dense(float* out) const {
+  std::memset(out, 0, sizeof(float) * static_cast<std::size_t>(M_ * K_));
+  const std::int64_t Kb = K_ / bk_;
+  (void)Kb;
+  std::vector<bf16> flat(static_cast<std::size_t>(bm_ * bk_));
+  for (std::int64_t im = 0; im < block_rows(); ++im) {
+    for (std::int64_t nz = col_ptr_[static_cast<std::size_t>(im)];
+         nz < col_ptr_[static_cast<std::size_t>(im) + 1]; ++nz) {
+      const std::int64_t ik = row_idx_[static_cast<std::size_t>(nz)];
+      const void* blk = block_values(nz);
+      for (std::int64_t kk = 0; kk < bk_; ++kk)
+        for (std::int64_t mm = 0; mm < bm_; ++mm) {
+          float v;
+          if (dtype_ == DType::F32) {
+            v = reinterpret_cast<const float*>(blk)[mm + kk * bm_];
+          } else {
+            if (kk == 0 && mm == 0)
+              vnni2_unpack(reinterpret_cast<const bf16*>(blk), flat.data(),
+                           bm_, bk_, bm_);
+            v = flat[static_cast<std::size_t>(mm + kk * bm_)].to_f32();
+          }
+          out[(im * bm_ + mm) + (ik * bk_ + kk) * M_] = v;
+        }
+    }
+  }
+}
+
+SpmmTPP::SpmmTPP(std::int64_t bm, std::int64_t bk, std::int64_t bn, DType ab,
+                 DType c, float beta, std::int64_t ldb, std::int64_t ldc)
+    : bm_(bm),
+      bk_(bk),
+      bn_(bn),
+      ab_(ab),
+      c_(c),
+      beta_(beta),
+      ldb_(ldb == 0 ? bk : ldb),
+      ldc_(ldc == 0 ? bm : ldc),
+      brgemm_(BrgemmDesc{bm, bn, bk, /*lda=*/bm, ldb_, ldc_, ab, ab,
+                         c, beta, BrgemmVariant::kAddress,
+                         ab == DType::BF16 ? ALayout::kVnni2 : ALayout::kFlat,
+                         0, 0}) {}
+
+void SpmmTPP::operator()(const BcscMatrix& a, std::int64_t im,
+                         const void* b_panel, std::int64_t ldb, void* c_tile,
+                         std::int64_t ldc) const {
+  PLT_CHECK(a.bm() == bm_ && a.bk() == bk_ && a.dtype() == ab_,
+            "spmm: matrix does not match TPP descriptor");
+  const std::int64_t lo = a.col_ptr()[static_cast<std::size_t>(im)];
+  const std::int64_t hi = a.col_ptr()[static_cast<std::size_t>(im) + 1];
+  const std::int64_t count = hi - lo;
+
+  // Gather block pointers and run the address-variant BRGEMM over them —
+  // the sparse kernel is literally a batch-reduce over the surviving blocks.
+  thread_local std::vector<const void*> a_ptrs, b_ptrs;
+  a_ptrs.resize(static_cast<std::size_t>(count));
+  b_ptrs.resize(static_cast<std::size_t>(count));
+  const std::size_t esz = dtype_size(ab_);
+  const char* bp = static_cast<const char*>(b_panel);
+  for (std::int64_t i = 0; i < count; ++i) {
+    a_ptrs[static_cast<std::size_t>(i)] = a.block_values(lo + i);
+    const std::int64_t ik = a.row_idx()[static_cast<std::size_t>(lo + i)];
+    b_ptrs[static_cast<std::size_t>(i)] =
+        bp + static_cast<std::size_t>(ik * bk_) * esz;
+  }
+
+  // The BRGEMM descriptor fixes ldb/ldc at construction; rebuild only when a
+  // caller overrides the panel strides (construction is a cheap dispatch).
+  if (ldb == ldb_ && ldc == ldc_) {
+    brgemm_.run_address(a_ptrs.data(), b_ptrs.data(), c_tile, count);
+  } else {
+    BrgemmDesc d = brgemm_.desc();
+    d.ldb = ldb;
+    d.ldc = ldc;
+    BrgemmTPP local(d);
+    local.run_address(a_ptrs.data(), b_ptrs.data(), c_tile, count);
+  }
+}
+
+double SpmmTPP::flops(const BcscMatrix& a, std::int64_t im) const {
+  const std::int64_t count = a.col_ptr()[static_cast<std::size_t>(im) + 1] -
+                             a.col_ptr()[static_cast<std::size_t>(im)];
+  return 2.0 * static_cast<double>(count) * static_cast<double>(bm_) *
+         static_cast<double>(bk_) * static_cast<double>(bn_);
+}
+
+}  // namespace plt::tpp

@@ -1,0 +1,109 @@
+// Block-sparse x dense matrix multiply TPP (Section III-C, Listing 5).
+//
+// The sparse operand A (M x K) is stored in Block Compressed Sparse Column
+// format with a parameterized bm x bk block: for each block-row `im`,
+// col_ptr[im]..col_ptr[im+1] indexes the non-empty blocks and row_idx[] holds
+// their k-block coordinates (the paper's A_colptr/A_rowidx, which it indexes
+// by the M block — the names follow the paper). Dense blocks are stored
+// column-major, and VNNI2-packed for bf16 so the low-precision dot-product
+// microkernels apply directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/bf16.hpp"
+#include "common/rng.hpp"
+#include "tpp/brgemm.hpp"
+
+namespace plt::tpp {
+
+class BcscMatrix {
+ public:
+  // Builds from a dense col-major M x K matrix (ld = M); blocks whose max
+  // |value| is <= zero_tol are dropped. M % bm == 0 and K % bk == 0.
+  static BcscMatrix from_dense(const float* dense, std::int64_t M,
+                               std::int64_t K, std::int64_t bm,
+                               std::int64_t bk, DType store,
+                               float zero_tol = 0.0f);
+
+  // Magnitude block pruning: keeps the ceil((1-sparsity) * nblocks) blocks
+  // with the largest Frobenius norm — the "block-wise weight pruning"
+  // methodology of Section IV-B reduced to its performance-relevant part.
+  static BcscMatrix prune_from_dense(const float* dense, std::int64_t M,
+                                     std::int64_t K, std::int64_t bm,
+                                     std::int64_t bk, DType store,
+                                     double sparsity);
+
+  // Random block-sparse matrix with the given block-survival probability
+  // (used by the Fig. 8 sweep).
+  static BcscMatrix random(std::int64_t M, std::int64_t K, std::int64_t bm,
+                           std::int64_t bk, DType store, double sparsity,
+                           Xoshiro256& rng);
+
+  std::int64_t M() const { return M_; }
+  std::int64_t K() const { return K_; }
+  std::int64_t bm() const { return bm_; }
+  std::int64_t bk() const { return bk_; }
+  DType dtype() const { return dtype_; }
+  std::int64_t block_rows() const { return M_ / bm_; }
+  std::int64_t block_cols() const { return K_ / bk_; }
+  std::int64_t nnz_blocks() const { return static_cast<std::int64_t>(row_idx_.size()); }
+  double density() const {
+    return static_cast<double>(nnz_blocks()) /
+           static_cast<double>(block_rows() * block_cols());
+  }
+
+  const std::vector<std::int64_t>& col_ptr() const { return col_ptr_; }
+  const std::vector<std::int32_t>& row_idx() const { return row_idx_; }
+  const void* block_values(std::int64_t nz_index) const {
+    return vals_.data() + static_cast<std::size_t>(nz_index) * block_bytes_;
+  }
+  std::int64_t block_elems() const { return block_elems_; }
+
+  // Densifies back to col-major M x K fp32 (tests / baselines).
+  void to_dense(float* out) const;
+
+ private:
+  BcscMatrix() = default;
+  static BcscMatrix build(const float* dense, std::int64_t M, std::int64_t K,
+                          std::int64_t bm, std::int64_t bk, DType store,
+                          const std::vector<std::uint8_t>& keep);
+
+  std::int64_t M_ = 0, K_ = 0, bm_ = 0, bk_ = 0;
+  DType dtype_ = DType::F32;
+  std::int64_t block_elems_ = 0;   // elements per stored block
+  std::size_t block_bytes_ = 0;
+  std::vector<std::int64_t> col_ptr_;
+  std::vector<std::int32_t> row_idx_;
+  AlignedBuffer<std::uint8_t> vals_;
+};
+
+// The bcsc_spmm_tpp of Listing 5: computes one bm x bn output tile
+//   C_tile = beta * C_tile + sum_{nz in block-row im} A_blk(im, ik) * B(ik*bk.., :)
+// where B is a K x bn dense column panel (col-major, ldb >= K) in the same
+// precision as A's blocks and C is fp32 or matching low precision.
+class SpmmTPP {
+ public:
+  // ldb/ldc describe the dense panel/tile strides (0 => bk / bm). For a full
+  // K x N dense B the natural ldb is K, and for a full M x N dense C the
+  // natural ldc is M.
+  SpmmTPP(std::int64_t bm, std::int64_t bk, std::int64_t bn, DType ab,
+          DType c, float beta, std::int64_t ldb = 0, std::int64_t ldc = 0);
+
+  void operator()(const BcscMatrix& a, std::int64_t im, const void* b_panel,
+                  std::int64_t ldb, void* c_tile, std::int64_t ldc) const;
+
+  // Effective flops for one tile of block-row im (2*bm*bk*bn per nz block).
+  double flops(const BcscMatrix& a, std::int64_t im) const;
+
+ private:
+  std::int64_t bm_, bk_, bn_;
+  DType ab_, c_;
+  float beta_;
+  std::int64_t ldb_ = 0, ldc_ = 0;  // must precede brgemm_ (init order)
+  BrgemmTPP brgemm_;
+};
+
+}  // namespace plt::tpp

@@ -1,0 +1,33 @@
+#include "tpp/tpp_types.hpp"
+
+#include <sstream>
+
+namespace plt::tpp {
+
+std::string UnaryDesc::key() const {
+  std::ostringstream os;
+  os << "u" << static_cast<int>(kind) << '_' << rows << 'x' << cols << '_'
+     << ldi << '_' << ldo << '_' << dtype_name(in) << '_' << dtype_name(out)
+     << '_' << alpha;
+  return os.str();
+}
+
+std::string BinaryDesc::key() const {
+  std::ostringstream os;
+  os << "b" << static_cast<int>(kind) << '_' << rows << 'x' << cols << '_'
+     << ldi0 << '_' << ldi1 << '_' << ldo << '_' << dtype_name(in0) << '_'
+     << dtype_name(in1) << '_' << dtype_name(out) << "_bc"
+     << static_cast<int>(bcast0);
+  return os.str();
+}
+
+std::string BrgemmDesc::key() const {
+  std::ostringstream os;
+  os << "brgemm_" << m << 'x' << n << 'x' << k << "_ld" << lda << '_' << ldb
+     << '_' << ldc << '_' << dtype_name(a) << dtype_name(b) << dtype_name(c)
+     << "_beta" << beta << "_v" << static_cast<int>(variant) << "_al"
+     << static_cast<int>(a_layout) << "_sa" << stride_a << "_sb" << stride_b;
+  return os.str();
+}
+
+}  // namespace plt::tpp

@@ -1,0 +1,128 @@
+// Descriptor types for the Tensor Processing Primitive (TPP) backend.
+//
+// A TPP is configured once from a descriptor (shape, leading dimensions,
+// datatypes, flags) and then invoked many times — the same contract as
+// libxsmm's dispatch API that the paper builds on. Construction resolves the
+// descriptor against the running CPU's ISA level and memoizes the resulting
+// kernel in a process-wide cache (see kernel_cache.hpp), standing in for the
+// machine-code JIT of the original backend.
+//
+// Conventions:
+//  * 2D operands are column-major: element (i, j) lives at p[i + j * ld]
+//    with 0 <= i < rows ("m") and 0 <= j < cols ("n"). The paper's blocked
+//    tensors (A[Mb][Kb][bk][bm] etc.) map onto this directly.
+//  * bf16 tensors always accumulate in fp32.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bf16.hpp"
+
+namespace plt::tpp {
+
+enum class UnaryKind : std::uint8_t {
+  kZero,
+  kCopy,        // also performs dtype conversion when in/out dtypes differ
+  kRelu,
+  kReluBwd,     // grad-in masked by sign of the saved forward input
+  kGelu,        // tanh approximation (the one DL frameworks use)
+  kGeluBwd,
+  kTanh,
+  kSigmoid,
+  kExp,
+  kSqrt,
+  kRsqrt,
+  kReciprocal,
+  kNegate,
+  kSquare,
+  kAbs,
+  kScale,            // out = alpha * in
+  kLeakyRelu,        // out = in > 0 ? in : alpha * in
+  kReduceSumRows,    // out[j]   = sum_i in(i, j)   (out is 1 x cols)
+  kReduceSumCols,    // out[i]   = sum_j in(i, j)   (out is rows x 1)
+  kReduceMaxRows,    // out[j]   = max_i in(i, j)
+  kReduceMaxCols,    // out[i]   = max_j in(i, j)
+};
+
+enum class BinaryKind : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMax,
+  kMin,
+};
+
+// Broadcast semantics of input 0 of a binary TPP (input 1 is always full
+// rows x cols). kRow broadcasts a 1 x cols operand down the rows (bias add);
+// kCol broadcasts a rows x 1 operand across columns; kScalar a single value.
+enum class Broadcast : std::uint8_t { kNone, kRow, kCol, kScalar };
+
+struct UnaryDesc {
+  UnaryKind kind = UnaryKind::kCopy;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t ldi = 0;   // defaults to rows when 0
+  std::int64_t ldo = 0;   // defaults to rows when 0
+  DType in = DType::F32;
+  DType out = DType::F32;
+  float alpha = 1.0f;     // kScale / kLeakyRelu parameter
+
+  std::string key() const;
+};
+
+struct BinaryDesc {
+  BinaryKind kind = BinaryKind::kAdd;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t ldi0 = 0;
+  std::int64_t ldi1 = 0;
+  std::int64_t ldo = 0;
+  DType in0 = DType::F32;
+  DType in1 = DType::F32;
+  DType out = DType::F32;
+  Broadcast bcast0 = Broadcast::kNone;
+
+  std::string key() const;
+};
+
+// Batch-reduce GEMM: C(m x n) = beta * C + sum_i A_i(m x k) * B_i(k x n).
+// The three address-generation variants of the paper/libxsmm are supported:
+//   kStride : A_i = A_0 + i * stride_a, likewise for B (strides in ELEMENTS)
+//   kAddress: explicit pointer arrays
+//   kOffset : A_i = A_0 + offs_a[i], B_i = B_0 + offs_b[i] (element offsets)
+enum class BrgemmVariant : std::uint8_t { kStride, kAddress, kOffset };
+
+// Layout of the A operand for low-precision kernels. kVnni2 packs pairs of
+// consecutive k values per m element: A[k/2][m][2] — the layout the
+// AVX-512-BF16 dot-product instruction consumes (and AMX/MMLA analogues).
+enum class ALayout : std::uint8_t { kFlat, kVnni2 };
+
+struct BrgemmDesc {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+  std::int64_t lda = 0;  // defaults: m (flat) — for kVnni2 lda is the m stride in PAIRS, default m
+  std::int64_t ldb = 0;  // defaults: k
+  std::int64_t ldc = 0;  // defaults: m
+  DType a = DType::F32;
+  DType b = DType::F32;
+  DType c = DType::F32;
+  float beta = 1.0f;           // 0 => overwrite C, 1 => accumulate
+  BrgemmVariant variant = BrgemmVariant::kStride;
+  ALayout a_layout = ALayout::kFlat;
+  std::int64_t stride_a = 0;   // kStride variant, in elements
+  std::int64_t stride_b = 0;
+
+  std::string key() const;
+};
+
+struct GemmFlops {
+  static double of(std::int64_t m, std::int64_t n, std::int64_t k) {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+  }
+};
+
+}  // namespace plt::tpp

@@ -1,0 +1,32 @@
+#include "tpp/transforms.hpp"
+
+#include <cstring>
+
+namespace plt::tpp {
+
+void vnni2_pack(const bf16* in, bf16* out, std::int64_t m, std::int64_t k,
+                std::int64_t lda) {
+  const std::int64_t kp = (k + 1) / 2;
+  for (std::int64_t p = 0; p < kp; ++p) {
+    const bool has_hi = 2 * p + 1 < k;
+    for (std::int64_t i = 0; i < m; ++i) {
+      bf16* o = out + (p * m + i) * 2;
+      o[0] = in[i + (2 * p) * lda];
+      o[1] = has_hi ? in[i + (2 * p + 1) * lda] : bf16{};
+    }
+  }
+}
+
+void vnni2_unpack(const bf16* in, bf16* out, std::int64_t m, std::int64_t k,
+                  std::int64_t lda_out) {
+  const std::int64_t kp = (k + 1) / 2;
+  for (std::int64_t p = 0; p < kp; ++p) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const bf16* s = in + (p * m + i) * 2;
+      out[i + (2 * p) * lda_out] = s[0];
+      if (2 * p + 1 < k) out[i + (2 * p + 1) * lda_out] = s[1];
+    }
+  }
+}
+
+}  // namespace plt::tpp

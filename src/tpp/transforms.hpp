@@ -1,0 +1,62 @@
+// Tensor re-ordering TPPs: transpose, VNNI2 packing and blocked-layout
+// copy-in/copy-out. The paper relies on these to put operands into the
+// layouts the contraction hardware wants ("the TPP collection provides the
+// corresponding reformatting primitives", Section III-A2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bf16.hpp"
+
+namespace plt::tpp {
+
+// out(j, i) = in(i, j); in is rows x cols (ldi), out is cols x rows (ldo).
+template <typename TI, typename TO>
+void transpose_2d(const TI* in, TO* out, std::int64_t rows, std::int64_t cols,
+                  std::int64_t ldi, std::int64_t ldo) {
+  for (std::int64_t j = 0; j < cols; ++j)
+    for (std::int64_t i = 0; i < rows; ++i)
+      store_f32(&out[j + i * ldo], load_f32(&in[i + j * ldi]));
+}
+
+// Packs a flat col-major m x k bf16 block (lda) into VNNI2 layout
+// [ceil(k/2)][m][2] (pair-major, m stride = m). Odd k is zero-padded.
+void vnni2_pack(const bf16* in, bf16* out, std::int64_t m, std::int64_t k,
+                std::int64_t lda);
+
+// Inverse of vnni2_pack (used by tests and the unpack TPP).
+void vnni2_unpack(const bf16* in, bf16* out, std::int64_t m, std::int64_t k,
+                  std::int64_t lda_out);
+
+// Number of bf16 elements a VNNI2-packed m x k block occupies.
+inline std::int64_t vnni2_elems(std::int64_t m, std::int64_t k) {
+  return ((k + 1) / 2) * m * 2;
+}
+
+// Copy a flat col-major M x K matrix (ld = M) into the paper's blocked
+// layout A[Mb][Kb][bk][bm] (bm fastest), and back. M % bm == 0, K % bk == 0.
+template <typename T>
+void block_a_matrix(const T* flat, T* blocked, std::int64_t M, std::int64_t K,
+                    std::int64_t bm, std::int64_t bk) {
+  const std::int64_t Mb = M / bm, Kb = K / bk;
+  for (std::int64_t im = 0; im < Mb; ++im)
+    for (std::int64_t ik = 0; ik < Kb; ++ik)
+      for (std::int64_t kk = 0; kk < bk; ++kk)
+        for (std::int64_t mm = 0; mm < bm; ++mm)
+          blocked[((im * Kb + ik) * bk + kk) * bm + mm] =
+              flat[(im * bm + mm) + (ik * bk + kk) * M];
+}
+
+template <typename T>
+void unblock_a_matrix(const T* blocked, T* flat, std::int64_t M,
+                      std::int64_t K, std::int64_t bm, std::int64_t bk) {
+  const std::int64_t Mb = M / bm, Kb = K / bk;
+  for (std::int64_t im = 0; im < Mb; ++im)
+    for (std::int64_t ik = 0; ik < Kb; ++ik)
+      for (std::int64_t kk = 0; kk < bk; ++kk)
+        for (std::int64_t mm = 0; mm < bm; ++mm)
+          flat[(im * bm + mm) + (ik * bk + kk) * M] =
+              blocked[((im * Kb + ik) * bk + kk) * bm + mm];
+}
+
+}  // namespace plt::tpp

@@ -1,0 +1,43 @@
+// Auto-tuning candidate generation (Section II-D).
+//
+// Mirrors the paper's constraint set for the Listing-1 GEMM:
+//   1. block each logical loop up to a per-loop maximum (multi-level caches)
+//   2. pick blocking factors programmatically as prefix products of the
+//      prime factorization of the loop trip count
+//   3. parallelize (occurrences of) the M and N loops
+//   4. consider all permutations subject to 1-3
+// Every decision maps 1:1 onto a loop_spec_string plus blocking lists, so a
+// candidate is exactly the runtime knob the user code consumes — zero lines
+// of user-code change per candidate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfmodel/contraction_model.hpp"
+
+namespace plt::tuner {
+
+struct TuneCandidate {
+  std::string spec;
+  std::vector<std::int64_t> k_blocking, m_blocking, n_blocking;
+};
+
+struct SpecGenOptions {
+  // Maximum blocking levels per logical loop (a=K, b=M, c=N).
+  std::array<int, 3> max_blockings = {1, 2, 2};
+  bool allow_parallel_m = true;
+  bool allow_parallel_n = true;
+  bool include_serial = false;   // also emit unparallelized variants
+  std::size_t max_candidates = 64;
+  std::uint64_t seed = 1;        // deterministic down-sampling
+};
+
+// Enumerates candidates for the blocked GEMM described by `p` (trip counts
+// Mb/Nb/Kb derive from its shape and block sizes).
+std::vector<TuneCandidate> generate_gemm_candidates(
+    const perfmodel::GemmModelProblem& p, const SpecGenOptions& opts);
+
+}  // namespace plt::tuner

@@ -1,0 +1,59 @@
+// Auto-tuning driver (Fig. 1 boxes B2/B3): benchmarks candidate
+// loop_spec_strings against the real GEMM kernel, optionally pre-ranks them
+// with the performance model (for offline / cross-platform tuning), and
+// persists results as CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/gemm_kernel.hpp"
+#include "tuner/spec_generator.hpp"
+
+namespace plt::tuner {
+
+struct TuneResult {
+  TuneCandidate candidate;
+  double seconds = 0.0;       // best-of-iters wall time
+  double gflops = 0.0;
+  double model_score = 0.0;   // predicted flops/cycle (0 when not modeled)
+};
+
+struct TuneOptions {
+  int warmup = 1;
+  int iters = 3;
+  // When >0, only the model's top_k candidates are actually benchmarked —
+  // the offline-tuning shortcut Section II-E motivates.
+  int model_top_k = 0;
+  perfmodel::PlatformModel platform = perfmodel::PlatformModel::spr_like();
+  int model_threads = 0;      // 0 => use the real thread count
+};
+
+class GemmTuner {
+ public:
+  GemmTuner(kernels::GemmConfig base, TuneOptions opts = {});
+
+  // Benchmarks candidates (all, or the model's top-k). Results are sorted
+  // by measured GFLOPS, best first. `tuning_seconds` (optional out)
+  // receives the total wall time of the search.
+  std::vector<TuneResult> run(const std::vector<TuneCandidate>& candidates,
+                              double* tuning_seconds = nullptr) const;
+
+  // Scores every candidate with the performance model only (no execution).
+  std::vector<TuneResult> rank_with_model(
+      const std::vector<TuneCandidate>& candidates) const;
+
+  static void write_csv(const std::string& path,
+                        const std::vector<TuneResult>& results);
+
+  const kernels::GemmConfig& base() const { return base_; }
+
+ private:
+  kernels::GemmConfig apply(const TuneCandidate& c) const;
+  perfmodel::GemmModelProblem model_problem() const;
+
+  kernels::GemmConfig base_;
+  TuneOptions opts_;
+};
+
+}  // namespace plt::tuner

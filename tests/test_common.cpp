@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/aligned_buffer.hpp"
+#include "common/bf16.hpp"
+#include "common/cpu_features.hpp"
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+
+namespace plt {
+namespace {
+
+TEST(Bf16, RoundTripExactForBf16Representable) {
+  // Values with <= 7 explicit mantissa bits survive the round trip exactly.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.25f, 100.0f,
+                  std::ldexp(1.0f, 30)}) {
+    EXPECT_EQ(bf16::from_f32(v).to_f32(), v) << v;
+  }
+}
+
+TEST(Bf16, RoundToNearestEven) {
+  // bf16 has a 7-bit mantissa: the step at 1.0 is 2^-7, so 1.0 + 2^-8 is
+  // exactly halfway between bf16(1.0) and the next value; RNE picks the even
+  // mantissa (1.0).
+  const float halfway = 1.0f + std::ldexp(1.0f, -8);
+  EXPECT_EQ(bf16::from_f32(halfway).to_f32(), 1.0f);
+  // Just above halfway rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -8) + std::ldexp(1.0f, -15);
+  EXPECT_EQ(bf16::from_f32(above).to_f32(), 1.0f + std::ldexp(1.0f, -7));
+}
+
+TEST(Bf16, RelativeErrorBounded) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform(-100.0f, 100.0f);
+    const float r = bf16::from_f32(v).to_f32();
+    EXPECT_LE(std::fabs(r - v), std::fabs(v) * (1.0f / 256.0f) + 1e-38f);
+  }
+}
+
+TEST(Bf16, NanAndInfPreserved) {
+  EXPECT_TRUE(std::isnan(bf16::from_f32(std::nanf("")).to_f32()));
+  EXPECT_TRUE(std::isinf(bf16::from_f32(INFINITY).to_f32()));
+  EXPECT_LT(bf16::from_f32(-INFINITY).to_f32(), 0.0f);
+}
+
+TEST(Bf16, DtypeSizes) {
+  EXPECT_EQ(dtype_size(DType::F32), 4u);
+  EXPECT_EQ(dtype_size(DType::BF16), 2u);
+  EXPECT_EQ(dtype_size(DType::I32), 4u);
+  EXPECT_EQ(dtype_size(DType::U8), 1u);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform(-2.0f, 5.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 5.0f);
+  }
+}
+
+TEST(Rng, SplitDecorrelates) {
+  Xoshiro256 parent(9);
+  Xoshiro256 child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next_u64() == child.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(MathUtils, PrimeFactors) {
+  EXPECT_EQ(prime_factors(1), (std::vector<std::int64_t>{}));
+  EXPECT_EQ(prime_factors(12), (std::vector<std::int64_t>{2, 2, 3}));
+  EXPECT_EQ(prime_factors(97), (std::vector<std::int64_t>{97}));
+  EXPECT_EQ(prime_factors(64), (std::vector<std::int64_t>(6, 2)));
+}
+
+TEST(MathUtils, Divisors) {
+  EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+}
+
+TEST(MathUtils, PrefixProductBlockings) {
+  // Trip 8 with step 2: factors {2,2,2} -> blockings {4, 8, 16}.
+  EXPECT_EQ(prefix_product_blockings(8, 2),
+            (std::vector<std::int64_t>{4, 8, 16}));
+}
+
+TEST(MathUtils, CeilDivRoundUp) {
+  EXPECT_EQ(ceil_div(7, 3), 3);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+  EXPECT_EQ(round_up(7, 4), 8);
+}
+
+TEST(AlignedBuffer, AlignmentAndValueSemantics) {
+  AlignedBuffer<float> a(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % kCacheLine, 0u);
+  a.zero();
+  a[7] = 3.0f;
+  AlignedBuffer<float> b = a;  // deep copy
+  b[7] = 5.0f;
+  EXPECT_EQ(a[7], 3.0f);
+  AlignedBuffer<float> c = std::move(a);
+  EXPECT_EQ(c[7], 3.0f);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): move contract
+}
+
+TEST(CpuFeatures, ConsistentIsaSelection) {
+  const CpuFeatures& f = cpu_features();
+  const IsaLevel isa = effective_isa();
+  if (isa >= IsaLevel::kAVX2) EXPECT_TRUE(f.avx2 && f.fma);
+  if (isa >= IsaLevel::kAVX512) EXPECT_TRUE(f.avx512f);
+  if (isa >= IsaLevel::kAVX512BF16) EXPECT_TRUE(f.avx512_bf16);
+  EXPECT_GE(f.logical_cores, 1);
+  EXPECT_STRNE(isa_name(isa), "?");
+}
+
+}  // namespace
+}  // namespace plt

@@ -1,0 +1,231 @@
+// Breadth coverage: the corners the main suites don't reach — 3D explicit
+// thread grids, bf16 address/offset BRGEMM variants, dropout-enabled BERT
+// training, embeddings, single-token FC paths, whitespace-tolerant specs and
+// the JIT source generator for grid loops.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "dl/bert.hpp"
+#include "dl/llm.hpp"
+#include "parlooper/jit_backend.hpp"
+#include "parlooper/threaded_loop.hpp"
+#include "test_utils.hpp"
+#include "common/timer.hpp"
+#include "tpp/brgemm.hpp"
+#include "tpp/transforms.hpp"
+
+namespace plt {
+namespace {
+
+using plt::test::expect_allclose;
+using plt::test::random_vec;
+using plt::test::to_bf16;
+
+// ---------- PAR-MODE 2: full 3D grid ----------
+
+TEST(ThreeDGrid, CoversEveryIterationOnce) {
+  std::vector<parlooper::LoopSpecs> loops = {parlooper::LoopSpecs{0, 8, 1},
+                                             parlooper::LoopSpecs{0, 6, 1},
+                                             parlooper::LoopSpecs{0, 4, 1}};
+  parlooper::LoopNest nest(loops, "A{R:4}B{C:3}C{L:2}",
+                           parlooper::Backend::kInterpreter);
+  std::mutex mu;
+  std::map<std::vector<std::int64_t>, int> visits;
+  nest([&](const std::int64_t* ind) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++visits[{ind[0], ind[1], ind[2]}];
+  });
+  EXPECT_EQ(visits.size(), 8u * 6u * 4u);
+  for (const auto& [k, v] : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ThreeDGrid, JitSourceEmitsCellLoop) {
+  std::vector<parlooper::LoopSpecs> loops = {parlooper::LoopSpecs{0, 8, 1},
+                                             parlooper::LoopSpecs{0, 6, 1}};
+  parlooper::LoopNestPlan plan(loops, "A{R:4}B{C:2}");
+  const std::string src = parlooper::JitLoop::generate_source(plan);
+  EXPECT_NE(src.find("plt_cell"), std::string::npos);
+  EXPECT_NE(src.find("plt_coord"), std::string::npos);
+}
+
+TEST(LoopSpec, WhitespaceTolerated) {
+  parlooper::ParsedSpec p = parlooper::parse_loop_spec("a B c", 3);
+  EXPECT_EQ(p.terms.size(), 3u);
+  EXPECT_TRUE(p.terms[1].parallel);
+}
+
+// ---------- bf16 BRGEMM address/offset variants ----------
+
+TEST(BrgemmBf16, AddressVariantMatchesStride) {
+  const std::int64_t m = 16, n = 8, k = 8, count = 3;
+  const std::int64_t a_blk = tpp::vnni2_elems(m, k);
+  auto af = random_vec(static_cast<std::size_t>(m * k * count), 1);
+  auto bfv = random_vec(static_cast<std::size_t>(k * n * count), 2);
+  std::vector<bf16> a(static_cast<std::size_t>(a_blk * count));
+  auto a16 = to_bf16(af);
+  for (std::int64_t i = 0; i < count; ++i)
+    tpp::vnni2_pack(a16.data() + i * m * k, a.data() + i * a_blk, m, k, m);
+  auto b16 = to_bf16(bfv);
+
+  std::vector<float> want(static_cast<std::size_t>(m * n), 0.0f);
+  tpp::BrgemmTPP stride(m, n, k, a_blk, k * n, 0.0f, DType::BF16, DType::BF16,
+                        DType::F32, tpp::ALayout::kVnni2);
+  stride(a.data(), b16.data(), want.data(), count);
+
+  std::vector<const void*> ap, bp;
+  std::vector<std::int64_t> oa, ob;
+  for (std::int64_t i = 0; i < count; ++i) {
+    ap.push_back(a.data() + i * a_blk);
+    bp.push_back(b16.data() + i * k * n);
+    oa.push_back(i * a_blk);
+    ob.push_back(i * k * n);
+  }
+  std::vector<float> got(want.size(), 0.0f);
+  tpp::BrgemmTPP addr(tpp::BrgemmDesc{m, n, k, 0, 0, 0, DType::BF16,
+                                      DType::BF16, DType::F32, 0.0f,
+                                      tpp::BrgemmVariant::kAddress,
+                                      tpp::ALayout::kVnni2, 0, 0});
+  addr.run_address(ap.data(), bp.data(), got.data(), count);
+  expect_allclose(got.data(), want.data(), got.size(), 1e-6f, "bf16 addr");
+
+  std::fill(got.begin(), got.end(), 0.0f);
+  tpp::BrgemmTPP offs(tpp::BrgemmDesc{m, n, k, 0, 0, 0, DType::BF16,
+                                      DType::BF16, DType::F32, 0.0f,
+                                      tpp::BrgemmVariant::kOffset,
+                                      tpp::ALayout::kVnni2, 0, 0});
+  offs.run_offset(a.data(), b16.data(), got.data(), oa.data(), ob.data(),
+                  count);
+  expect_allclose(got.data(), want.data(), got.size(), 1e-6f, "bf16 offs");
+}
+
+// ---------- DL corners ----------
+
+TEST(BertWithDropout, TrainingStepRunsAndMasksConsistently) {
+  dl::BertConfig cfg;
+  cfg.hidden = 32;
+  cfg.heads = 2;
+  cfg.intermediate = 64;
+  cfg.layers = 1;
+  cfg.seq_len = 8;
+  cfg.bm = cfg.bn = cfg.bk = 8;
+  cfg.dropout_p = 0.2f;
+  Xoshiro256 rng(3);
+  dl::BertEncoder model(cfg, rng);
+  auto x = random_vec(static_cast<std::size_t>(cfg.tokens() * cfg.hidden), 4);
+  auto target = random_vec(x.size(), 5, -0.5f, 0.5f);
+  const double l = model.training_step(x.data(), target.data(), 0.1f, rng);
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_GT(l, 0.0);
+}
+
+TEST(BertEmbeddings, LookupIsNormalizedPerToken) {
+  dl::BertConfig cfg;
+  cfg.hidden = 32;
+  cfg.heads = 2;
+  cfg.intermediate = 64;
+  cfg.seq_len = 8;
+  Xoshiro256 rng(7);
+  dl::BertEmbeddings emb(cfg, /*vocab=*/64, rng);
+  std::vector<std::int32_t> ids(static_cast<std::size_t>(cfg.tokens()));
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<std::int32_t>(i * 7);
+  std::vector<float> out(static_cast<std::size_t>(cfg.tokens() * cfg.hidden));
+  emb.forward(ids.data(), out.data(), rng);
+  for (std::int64_t t = 0; t < cfg.tokens(); ++t) {
+    float mu = 0.0f;
+    for (std::int64_t h = 0; h < cfg.hidden; ++h)
+      mu += out[static_cast<std::size_t>(t * cfg.hidden + h)];
+    EXPECT_NEAR(mu / static_cast<float>(cfg.hidden), 0.0f, 1e-4f);
+  }
+  // Same token id => same embedding row.
+  std::vector<std::int32_t> same(ids.size(), 5);
+  emb.forward(same.data(), out.data(), rng);
+  for (std::int64_t h = 0; h < cfg.hidden; ++h) {
+    EXPECT_EQ(out[static_cast<std::size_t>(h)],
+              out[static_cast<std::size_t>(cfg.hidden + h)]);
+  }
+}
+
+TEST(FcLayer, SingleTokenForwardMatchesBatchRow) {
+  Xoshiro256 rng(9);
+  dl::FcConfig c;
+  c.in_features = 16;
+  c.out_features = 16;
+  c.tokens = 8;
+  c.bm = c.bn = c.bk = 8;
+  dl::FcLayer fc(c, rng);
+  auto x = random_vec(static_cast<std::size_t>(8 * 16), 10);
+  std::vector<float> batch(static_cast<std::size_t>(8 * 16));
+  fc.forward(x.data(), batch.data());
+  // Row 3 recomputed through the single-token path (bn falls back to 1).
+  std::vector<float> one(16);
+  fc.forward_tokens(x.data() + 3 * 16, 1, one.data());
+  for (std::int64_t o = 0; o < 16; ++o)
+    EXPECT_NEAR(one[static_cast<std::size_t>(o)],
+                batch[static_cast<std::size_t>(3 * 16 + o)], 1e-5f);
+}
+
+TEST(Llm, Bf16GenerationStaysFinite) {
+  dl::LlmConfig cfg;
+  cfg.hidden = 64;
+  cfg.heads = 2;
+  cfg.layers = 2;
+  cfg.ffn = 128;
+  cfg.max_seq = 48;
+  cfg.bm = cfg.bn = cfg.bk = 16;
+  cfg.dtype = DType::BF16;
+  Xoshiro256 rng(11);
+  dl::LlmModel model(cfg, rng);
+  const auto t = model.generate(32, 8, rng);
+  EXPECT_GT(t.first_token_ms, 0.0);
+  EXPECT_GT(t.per_next_token_ms, 0.0);
+}
+
+TEST(Llm, LongerCacheCostsMorePerToken) {
+  // Decode cost grows with the visible cache length — the bandwidth-bound
+  // regime of Fig. 11's "next tokens" bar.
+  dl::LlmConfig cfg;
+  cfg.hidden = 64;
+  cfg.heads = 2;
+  cfg.layers = 2;
+  cfg.ffn = 128;
+  cfg.max_seq = 512;
+  cfg.bm = cfg.bn = cfg.bk = 16;
+  Xoshiro256 rng(13);
+  dl::DecoderLayer layer(cfg, rng);
+  std::vector<float> x(static_cast<std::size_t>(cfg.hidden), 0.1f);
+  std::vector<float> y(x.size());
+  // Fill positions [0, 400) then time decode at short vs long positions.
+  dl::Tensor prompt({400, cfg.hidden});
+  prompt.randn_uniform(rng);
+  dl::Tensor out({400, cfg.hidden});
+  layer.prefill(prompt.data(), 400, out.data());
+  const auto time_at = [&](std::int64_t pos) {
+    WallTimer t;
+    for (int i = 0; i < 50; ++i) layer.decode_one(x.data(), pos, y.data());
+    return t.seconds();
+  };
+  // Amortized over 50 calls; position 399 attends to 8x more cache than 49.
+  EXPECT_GT(time_at(399), time_at(49) * 1.05);
+}
+
+TEST(UnaryTPP, StridedBf16Reductions) {
+  const std::int64_t rows = 6, cols = 4, ldi = 9;
+  auto in = to_bf16(random_vec(static_cast<std::size_t>(ldi * cols), 14));
+  std::vector<float> sums(static_cast<std::size_t>(cols));
+  tpp::UnaryTPP reduce(tpp::UnaryDesc{tpp::UnaryKind::kReduceSumRows, rows,
+                                      cols, ldi, 0, DType::BF16, DType::F32,
+                                      1.0f});
+  reduce(in.data(), sums.data());
+  for (std::int64_t j = 0; j < cols; ++j) {
+    float want = 0.0f;
+    for (std::int64_t i = 0; i < rows; ++i)
+      want += in[static_cast<std::size_t>(i + j * ldi)].to_f32();
+    EXPECT_NEAR(sums[static_cast<std::size_t>(j)], want, 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace plt

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "test_utils.hpp"
+#include "tpp/equations.hpp"
+
+namespace plt::tpp {
+namespace {
+
+using plt::test::random_vec;
+
+TEST(Softmax, RowsSumToOneAndPreserveOrder) {
+  const std::int64_t rows = 8, cols = 16;
+  auto in = random_vec(static_cast<std::size_t>(rows * cols), 1, -4.0f, 4.0f);
+  std::vector<float> out(in.size());
+  softmax_rows(in.data(), out.data(), rows, cols, cols, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float v = out[static_cast<std::size_t>(r * cols + c)];
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    // Monotone: larger logit => larger probability.
+    for (std::int64_t c = 1; c < cols; ++c) {
+      const auto i0 = static_cast<std::size_t>(r * cols + c - 1);
+      const auto i1 = static_cast<std::size_t>(r * cols + c);
+      if (in[i0] < in[i1]) EXPECT_LT(out[i0], out[i1]);
+    }
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  std::vector<float> in = {1000.0f, 1001.0f, 999.0f};
+  std::vector<float> out(3);
+  softmax_rows(in.data(), out.data(), 1, 3, 3, 3);
+  EXPECT_FALSE(std::isnan(out[0]));
+  EXPECT_NEAR(out[0] + out[1] + out[2], 1.0f, 1e-5f);
+  EXPECT_GT(out[1], out[0]);
+}
+
+TEST(Softmax, ScaleMaskRespectsValidLength) {
+  const std::int64_t rows = 2, cols = 8;
+  auto in = random_vec(static_cast<std::size_t>(rows * cols), 2);
+  std::vector<float> out(in.size());
+  const std::int32_t valid[2] = {3, 8};
+  softmax_scale_mask_rows(in.data(), out.data(), rows, cols, cols, cols, 0.5f,
+                          valid);
+  for (std::int64_t c = 3; c < cols; ++c)
+    EXPECT_EQ(out[static_cast<std::size_t>(c)], 0.0f);
+  float sum0 = 0.0f;
+  for (std::int64_t c = 0; c < 3; ++c) sum0 += out[static_cast<std::size_t>(c)];
+  EXPECT_NEAR(sum0, 1.0f, 1e-5f);
+}
+
+TEST(Softmax, BackwardMatchesFiniteDifference) {
+  const std::int64_t cols = 6;
+  auto x = random_vec(static_cast<std::size_t>(cols), 3);
+  std::vector<float> y(x.size());
+  softmax_rows(x.data(), y.data(), 1, cols, cols, cols);
+  // Loss = sum(w * y); dL/dx via softmax_rows_bwd vs finite differences.
+  auto w = random_vec(static_cast<std::size_t>(cols), 4);
+  std::vector<float> grad_in(x.size());
+  softmax_rows_bwd(w.data(), y.data(), grad_in.data(), 1, cols, cols);
+  const float h = 1e-3f;
+  for (std::int64_t i = 0; i < cols; ++i) {
+    auto xp = x, xm = x;
+    xp[static_cast<std::size_t>(i)] += h;
+    xm[static_cast<std::size_t>(i)] -= h;
+    std::vector<float> yp(x.size()), ym(x.size());
+    softmax_rows(xp.data(), yp.data(), 1, cols, cols, cols);
+    softmax_rows(xm.data(), ym.data(), 1, cols, cols, cols);
+    float lp = 0.0f, lm = 0.0f;
+    for (std::size_t c = 0; c < x.size(); ++c) {
+      lp += w[c] * yp[c];
+      lm += w[c] * ym[c];
+    }
+    EXPECT_NEAR(grad_in[static_cast<std::size_t>(i)], (lp - lm) / (2 * h), 5e-3f);
+  }
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  const std::int64_t rows = 4, cols = 32;
+  auto in = random_vec(static_cast<std::size_t>(rows * cols), 5, -3.0f, 7.0f);
+  std::vector<float> gamma(static_cast<std::size_t>(cols), 1.0f);
+  std::vector<float> beta(static_cast<std::size_t>(cols), 0.0f);
+  std::vector<float> mean(static_cast<std::size_t>(rows)), var(mean.size());
+  std::vector<float> out(in.size());
+  LayerNormFwd ln{rows, cols, 1e-5f};
+  ln(in.data(), gamma.data(), beta.data(), mean.data(), var.data(), out.data());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float mu = 0.0f, v = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c)
+      mu += out[static_cast<std::size_t>(r * cols + c)];
+    mu /= static_cast<float>(cols);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float d = out[static_cast<std::size_t>(r * cols + c)] - mu;
+      v += d * d;
+    }
+    v /= static_cast<float>(cols);
+    EXPECT_NEAR(mu, 0.0f, 1e-4f);
+    EXPECT_NEAR(v, 1.0f, 1e-2f);
+  }
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+  const std::int64_t rows = 2, cols = 8;
+  auto in = random_vec(static_cast<std::size_t>(rows * cols), 6);
+  std::vector<float> gamma(static_cast<std::size_t>(cols)), beta(gamma.size());
+  for (std::size_t c = 0; c < gamma.size(); ++c) {
+    gamma[c] = 2.0f;
+    beta[c] = 1.0f;
+  }
+  std::vector<float> mean(2), var(2), out(in.size());
+  LayerNormFwd ln{rows, cols, 1e-5f};
+  ln(in.data(), gamma.data(), beta.data(), mean.data(), var.data(), out.data());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float mu = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c)
+      mu += out[static_cast<std::size_t>(r * cols + c)];
+    mu /= static_cast<float>(cols);
+    EXPECT_NEAR(mu, 1.0f, 1e-4f);  // beta shifts the mean
+  }
+}
+
+TEST(LayerNorm, BackwardMatchesFiniteDifference) {
+  const std::int64_t rows = 1, cols = 8;
+  auto x = random_vec(static_cast<std::size_t>(cols), 7);
+  auto gamma = random_vec(static_cast<std::size_t>(cols), 8, 0.5f, 1.5f);
+  auto beta = random_vec(static_cast<std::size_t>(cols), 9);
+  auto w = random_vec(static_cast<std::size_t>(cols), 10);  // loss weights
+
+  const auto loss = [&](const std::vector<float>& xin) {
+    std::vector<float> mean(1), var(1), out(xin.size());
+    LayerNormFwd ln{rows, cols, 1e-5f};
+    ln(xin.data(), gamma.data(), beta.data(), mean.data(), var.data(),
+       out.data());
+    float l = 0.0f;
+    for (std::size_t c = 0; c < out.size(); ++c) l += w[c] * out[c];
+    return l;
+  };
+
+  std::vector<float> mean(1), var(1), out(x.size());
+  LayerNormFwd ln{rows, cols, 1e-5f};
+  ln(x.data(), gamma.data(), beta.data(), mean.data(), var.data(), out.data());
+  std::vector<float> gi(x.size()), dgamma(x.size(), 0.0f), dbeta(x.size(), 0.0f);
+  LayerNormBwd lnb{rows, cols};
+  lnb(w.data(), x.data(), gamma.data(), mean.data(), var.data(), gi.data(),
+      dgamma.data(), dbeta.data());
+
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto xp = x, xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    EXPECT_NEAR(gi[i], (loss(xp) - loss(xm)) / (2 * h), 2e-2f) << i;
+  }
+  for (std::size_t c = 0; c < x.size(); ++c) EXPECT_FLOAT_EQ(dbeta[c], w[c]);
+}
+
+TEST(Dropout, MaskFrequencyAndScaling) {
+  const std::int64_t rows = 64, cols = 64;
+  const float p = 0.3f;
+  auto in = random_vec(static_cast<std::size_t>(rows * cols), 11, 0.5f, 1.5f);
+  std::vector<float> out(in.size());
+  std::vector<std::uint8_t> mask(in.size());
+  Xoshiro256 rng(123);
+  DropoutFwd fwd{rows, cols, p};
+  fwd(in.data(), rng, out.data(), mask.data());
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (mask[i]) {
+      ++kept;
+      EXPECT_FLOAT_EQ(out[i], in[i] / (1.0f - p));
+    } else {
+      EXPECT_EQ(out[i], 0.0f);
+    }
+  }
+  const double frac = static_cast<double>(kept) / static_cast<double>(in.size());
+  EXPECT_NEAR(frac, 1.0 - p, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSavedMask) {
+  const std::int64_t rows = 4, cols = 8;
+  const float p = 0.5f;
+  auto grad = random_vec(static_cast<std::size_t>(rows * cols), 12);
+  std::vector<std::uint8_t> mask(grad.size());
+  for (std::size_t i = 0; i < mask.size(); ++i) mask[i] = i % 3 == 0 ? 1 : 0;
+  std::vector<float> gi(grad.size());
+  DropoutBwd bwd{rows, cols, p};
+  bwd(grad.data(), mask.data(), gi.data());
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    EXPECT_FLOAT_EQ(gi[i], mask[i] ? grad[i] * 2.0f : 0.0f);
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentity) {
+  auto in = random_vec(32, 13);
+  std::vector<float> out(in.size());
+  std::vector<std::uint8_t> mask(in.size());
+  Xoshiro256 rng(1);
+  DropoutFwd fwd{4, 8, 0.0f};
+  fwd(in.data(), rng, out.data(), mask.data());
+  EXPECT_EQ(out, in);
+}
+
+}  // namespace
+}  // namespace plt::tpp

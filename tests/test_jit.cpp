@@ -1,0 +1,117 @@
+// Source-JIT backend tests. These exercise the real JIT path: generate C++,
+// invoke the system compiler, dlopen, run — and assert it is observationally
+// identical to the interpreter executor. Skipped when no compiler exists.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "parlooper/jit_backend.hpp"
+#include "parlooper/threaded_loop.hpp"
+
+namespace plt::parlooper {
+namespace {
+
+using Coverage = std::map<std::vector<std::int64_t>, int>;
+
+Coverage run_and_record(const LoopNest& nest, int nloops) {
+  Coverage cov;
+  std::mutex mu;
+  nest([&](const std::int64_t* ind) {
+    std::vector<std::int64_t> v(ind, ind + nloops);
+    std::lock_guard<std::mutex> lock(mu);
+    ++cov[v];
+  });
+  return cov;
+}
+
+TEST(JitSource, GeneratesListing2ShapedCode) {
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 8, 1, {}},
+                                  LoopSpecs{0, 16, 2, {8, 4}},
+                                  LoopSpecs{0, 12, 3, {6}}};
+  LoopNestPlan plan(loops, "bcaBCb");
+  const std::string src = JitLoop::generate_source(plan);
+  EXPECT_NE(src.find("#pragma omp parallel"), std::string::npos);
+  EXPECT_NE(src.find("#pragma omp for collapse(2)"), std::string::npos);
+  EXPECT_NE(src.find("nowait"), std::string::npos);
+  EXPECT_NE(src.find("plt_jit_entry"), std::string::npos);
+  EXPECT_NE(src.find("a->body(a->body_ctx, ind);"), std::string::npos);
+}
+
+TEST(JitSource, DirectiveSuffixEmitted) {
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 8, 1, {}}};
+  LoopNestPlan plan(loops, "A @ schedule(dynamic,1)");
+  const std::string src = JitLoop::generate_source(plan);
+  EXPECT_NE(src.find("#pragma omp for schedule(dynamic,1) nowait"),
+            std::string::npos);
+}
+
+TEST(JitSource, SerialSpecHasNoParallelRegion) {
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 8, 1, {}}};
+  LoopNestPlan plan(loops, "a");
+  const std::string src = JitLoop::generate_source(plan);
+  EXPECT_EQ(src.find("#pragma omp parallel"), std::string::npos);
+}
+
+class JitVsInterpreterP : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JitVsInterpreterP, IdenticalCoverage) {
+  if (!JitLoop::available()) GTEST_SKIP() << "no C++ compiler on this host";
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 8, 1, {4, 2}},
+                                  LoopSpecs{0, 16, 2, {8, 4}},
+                                  LoopSpecs{0, 12, 3, {6}}};
+  LoopNest interp(loops, GetParam(), Backend::kInterpreter);
+  LoopNest jit(loops, GetParam(), Backend::kJit);
+  if (!jit.using_jit()) GTEST_SKIP() << "jit unavailable for this spec";
+  const Coverage want = run_and_record(interp, 3);
+  const Coverage got = run_and_record(jit, 3);
+  EXPECT_EQ(got, want) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Specs, JitVsInterpreterP,
+                         ::testing::Values("abc", "aBC", "bcaBCb",
+                                           "aBC @ schedule(dynamic,1)",
+                                           "bC{R:2}aB{C:2}cb", "aabbcc"));
+
+TEST(Jit, CompileCacheAvoidsReJit) {
+  if (!JitLoop::available()) GTEST_SKIP() << "no C++ compiler on this host";
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 32, 1, {}},
+                                  LoopSpecs{0, 32, 1, {}},
+                                  LoopSpecs{0, 32, 1, {}}};
+  LoopNest first(loops, "aBc", Backend::kJit);
+  if (!first.using_jit()) GTEST_SKIP();
+  const std::uint64_t after_first = JitLoop::compile_count();
+  // Same structure, different bounds: the cached artifact must be reused.
+  std::vector<LoopSpecs> loops2 = {LoopSpecs{0, 64, 1, {}},
+                                   LoopSpecs{0, 16, 1, {}},
+                                   LoopSpecs{0, 8, 1, {}}};
+  LoopNest second(loops2, "aBc", Backend::kJit);
+  EXPECT_TRUE(second.using_jit());
+  EXPECT_EQ(JitLoop::compile_count(), after_first);
+
+  // And it must still execute the *new* bounds.
+  std::size_t count = 0;
+  std::mutex mu;
+  second([&](const std::int64_t*) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++count;
+  });
+  EXPECT_EQ(count, 64u * 16u * 8u);
+}
+
+TEST(Jit, InitAndTermCalledInsideRegion) {
+  if (!JitLoop::available()) GTEST_SKIP() << "no C++ compiler on this host";
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 4, 1, {}}};
+  LoopNest nest(loops, "A", Backend::kJit);
+  if (!nest.using_jit()) GTEST_SKIP();
+  std::atomic<int> inits{0}, terms{0}, bodies{0};
+  nest([&](const std::int64_t*) { ++bodies; }, [&] { ++inits; },
+       [&] { ++terms; });
+  EXPECT_EQ(bodies.load(), 4);
+  EXPECT_EQ(inits.load(), terms.load());
+  EXPECT_GE(inits.load(), 1);
+}
+
+}  // namespace
+}  // namespace plt::parlooper

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_utils.hpp"
+#include "tpp/spmm.hpp"
+
+namespace plt::tpp {
+namespace {
+
+using plt::test::expect_allclose;
+using plt::test::naive_gemm;
+using plt::test::random_vec;
+
+TEST(Bcsc, DenseRoundTripF32) {
+  const std::int64_t M = 16, K = 12, bm = 4, bk = 3;
+  auto dense = random_vec(static_cast<std::size_t>(M * K), 1);
+  BcscMatrix a = BcscMatrix::from_dense(dense.data(), M, K, bm, bk, DType::F32);
+  EXPECT_EQ(a.nnz_blocks(), (M / bm) * (K / bk));  // random data: all kept
+  std::vector<float> back(dense.size());
+  a.to_dense(back.data());
+  EXPECT_EQ(back, dense);
+}
+
+TEST(Bcsc, ZeroBlocksDropped) {
+  const std::int64_t M = 8, K = 8, bm = 4, bk = 4;
+  std::vector<float> dense(static_cast<std::size_t>(M * K), 0.0f);
+  // Only block (1, 0) is non-zero.
+  dense[static_cast<std::size_t>(5 + 2 * M)] = 3.0f;
+  BcscMatrix a = BcscMatrix::from_dense(dense.data(), M, K, bm, bk, DType::F32);
+  EXPECT_EQ(a.nnz_blocks(), 1);
+  EXPECT_EQ(a.row_idx()[0], 0);                 // k-block 0
+  EXPECT_EQ(a.col_ptr()[0], 0);                 // block-row 0: empty
+  EXPECT_EQ(a.col_ptr()[1], 0);
+  EXPECT_EQ(a.col_ptr()[2], 1);                 // block-row 1 holds it
+  std::vector<float> back(dense.size());
+  a.to_dense(back.data());
+  EXPECT_EQ(back, dense);
+}
+
+TEST(Bcsc, PruneKeepsRequestedFraction) {
+  const std::int64_t M = 32, K = 32, bm = 8, bk = 8;
+  auto dense = random_vec(static_cast<std::size_t>(M * K), 2);
+  for (double s : {0.0, 0.25, 0.5, 0.75}) {
+    BcscMatrix a =
+        BcscMatrix::prune_from_dense(dense.data(), M, K, bm, bk, DType::F32, s);
+    EXPECT_NEAR(a.density(), 1.0 - s, 1e-9) << s;
+  }
+}
+
+TEST(Bcsc, PruneKeepsLargestBlocks) {
+  const std::int64_t M = 8, K = 8, bm = 4, bk = 4;
+  std::vector<float> dense(static_cast<std::size_t>(M * K), 0.01f);
+  // Make block (0,1) clearly the largest.
+  for (std::int64_t kk = 4; kk < 8; ++kk)
+    for (std::int64_t mm = 0; mm < 4; ++mm)
+      dense[static_cast<std::size_t>(mm + kk * M)] = 10.0f;
+  BcscMatrix a =
+      BcscMatrix::prune_from_dense(dense.data(), M, K, bm, bk, DType::F32, 0.75);
+  ASSERT_EQ(a.nnz_blocks(), 1);
+  EXPECT_EQ(a.row_idx()[0], 1);
+  EXPECT_EQ(a.col_ptr()[1], 1);  // lives in block-row 0
+}
+
+using SpmmParam = std::tuple<std::int64_t, double, DType>;
+
+class SpmmP : public ::testing::TestWithParam<SpmmParam> {};
+
+TEST_P(SpmmP, MatchesDenseGemmOnDensifiedA) {
+  const auto [block, sparsity, dtype] = GetParam();
+  const std::int64_t M = 32, K = 32, N = 8;
+  const std::int64_t bm = block, bk = block, bn = N;
+  Xoshiro256 rng(42);
+  BcscMatrix a = BcscMatrix::random(M, K, bm, bk, dtype, sparsity, rng);
+
+  std::vector<float> a_dense(static_cast<std::size_t>(M * K));
+  a.to_dense(a_dense.data());
+  auto bf = random_vec(static_cast<std::size_t>(K * N), 7);
+
+  std::vector<float> want(static_cast<std::size_t>(M * N), 0.0f);
+  naive_gemm(a_dense.data(), bf.data(), want.data(), M, N, K, M, K, M, 0.0f);
+
+  std::vector<float> got(want.size(), 0.0f);
+  if (dtype == DType::F32) {
+    SpmmTPP spmm(bm, bk, bn, DType::F32, DType::F32, 0.0f, K, M);
+    for (std::int64_t im = 0; im < a.block_rows(); ++im) {
+      spmm(a, im, bf.data(), K, got.data() + im * bm, M);
+    }
+    expect_allclose(got.data(), want.data(), got.size(), 1e-4f, "spmm f32");
+  } else {
+    auto b16 = plt::test::to_bf16(bf);
+    // Reference must also see the bf16-rounded B.
+    auto br = plt::test::to_f32(b16);
+    std::fill(want.begin(), want.end(), 0.0f);
+    naive_gemm(a_dense.data(), br.data(), want.data(), M, N, K, M, K, M, 0.0f);
+    SpmmTPP spmm(bm, bk, bn, DType::BF16, DType::F32, 0.0f, K, M);
+    for (std::int64_t im = 0; im < a.block_rows(); ++im) {
+      spmm(a, im, b16.data(), K, got.data() + im * bm, M);
+    }
+    expect_allclose(got.data(), want.data(), got.size(),
+                    2e-2f * static_cast<float>(block), "spmm bf16");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlocksAndSparsities, SpmmP,
+    ::testing::Combine(::testing::Values<std::int64_t>(4, 8, 16),
+                       ::testing::Values(0.0, 0.3, 0.7, 0.95),
+                       ::testing::Values(DType::F32, DType::BF16)));
+
+TEST(Spmm, EmptyBlockRowWithBetaZeroClearsTile) {
+  const std::int64_t M = 8, K = 8, bm = 4, bk = 4, N = 4;
+  std::vector<float> dense(static_cast<std::size_t>(M * K), 0.0f);
+  dense[0] = 1.0f;  // only block (0, 0) survives
+  BcscMatrix a = BcscMatrix::from_dense(dense.data(), M, K, bm, bk, DType::F32);
+  ASSERT_EQ(a.nnz_blocks(), 1);
+  auto b = random_vec(static_cast<std::size_t>(K * N), 3);
+  std::vector<float> c(static_cast<std::size_t>(M * N), 9.0f);
+  SpmmTPP spmm(bm, bk, N, DType::F32, DType::F32, 0.0f, K, M);
+  for (std::int64_t im = 0; im < a.block_rows(); ++im)
+    spmm(a, im, b.data(), K, c.data() + im * bm, M);
+  // Block-row 1 is empty: beta=0 must have cleared its tile.
+  for (std::int64_t j = 0; j < N; ++j)
+    for (std::int64_t i = 4; i < 8; ++i)
+      EXPECT_EQ(c[static_cast<std::size_t>(i + j * M)], 0.0f);
+}
+
+TEST(Spmm, FlopsCountNonzeroBlocksOnly) {
+  const std::int64_t M = 16, K = 16, bm = 4, bk = 4;
+  Xoshiro256 rng(5);
+  BcscMatrix a = BcscMatrix::random(M, K, bm, bk, DType::F32, 0.5, rng);
+  SpmmTPP spmm(bm, bk, 8, DType::F32, DType::F32, 0.0f, K, M);
+  double total = 0.0;
+  for (std::int64_t im = 0; im < a.block_rows(); ++im) total += spmm.flops(a, im);
+  EXPECT_DOUBLE_EQ(total, 2.0 * static_cast<double>(a.nnz_blocks()) * bm * bk * 8);
+}
+
+}  // namespace
+}  // namespace plt::tpp

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+#include "tpp/transforms.hpp"
+
+namespace plt::tpp {
+namespace {
+
+using plt::test::random_vec;
+using plt::test::to_bf16;
+
+TEST(Transpose, SquareAndRectangular) {
+  for (auto [rows, cols] : {std::pair<std::int64_t, std::int64_t>{4, 4},
+                            {3, 7}, {1, 9}, {8, 1}}) {
+    auto in = random_vec(static_cast<std::size_t>(rows * cols), 1);
+    std::vector<float> out(in.size());
+    transpose_2d(in.data(), out.data(), rows, cols, rows, cols);
+    for (std::int64_t j = 0; j < cols; ++j)
+      for (std::int64_t i = 0; i < rows; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(j + i * cols)],
+                  in[static_cast<std::size_t>(i + j * rows)]);
+  }
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  const std::int64_t rows = 5, cols = 11;
+  auto in = random_vec(static_cast<std::size_t>(rows * cols), 2);
+  std::vector<float> t(in.size()), back(in.size());
+  transpose_2d(in.data(), t.data(), rows, cols, rows, cols);
+  transpose_2d(t.data(), back.data(), cols, rows, cols, rows);
+  EXPECT_EQ(back, in);
+}
+
+class VnniPackP : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(VnniPackP, PackUnpackRoundTrip) {
+  const auto [m, k] = GetParam();
+  auto in = to_bf16(random_vec(static_cast<std::size_t>(m * k), 3));
+  std::vector<bf16> packed(static_cast<std::size_t>(vnni2_elems(m, k)));
+  std::vector<bf16> back(in.size());
+  vnni2_pack(in.data(), packed.data(), m, k, m);
+  vnni2_unpack(packed.data(), back.data(), m, k, m);
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(back[i], in[i]) << i;
+}
+
+TEST_P(VnniPackP, PackedLayoutIsPairMajor) {
+  const auto [m, k] = GetParam();
+  auto in = to_bf16(random_vec(static_cast<std::size_t>(m * k), 4));
+  std::vector<bf16> packed(static_cast<std::size_t>(vnni2_elems(m, k)));
+  vnni2_pack(in.data(), packed.data(), m, k, m);
+  for (std::int64_t p = 0; p < (k + 1) / 2; ++p) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      EXPECT_EQ(packed[static_cast<std::size_t>((p * m + i) * 2)],
+                in[static_cast<std::size_t>(i + 2 * p * m)]);
+      if (2 * p + 1 < k) {
+        EXPECT_EQ(packed[static_cast<std::size_t>((p * m + i) * 2 + 1)],
+                  in[static_cast<std::size_t>(i + (2 * p + 1) * m)]);
+      } else {
+        EXPECT_EQ(packed[static_cast<std::size_t>((p * m + i) * 2 + 1)].bits, 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, VnniPackP,
+                         ::testing::Values(std::pair<std::int64_t, std::int64_t>{4, 4},
+                                           std::pair<std::int64_t, std::int64_t>{16, 32},
+                                           std::pair<std::int64_t, std::int64_t>{7, 5},
+                                           std::pair<std::int64_t, std::int64_t>{1, 1},
+                                           std::pair<std::int64_t, std::int64_t>{3, 9}));
+
+TEST(BlockedLayout, BlockUnblockRoundTrip) {
+  const std::int64_t M = 12, K = 8, bm = 4, bk = 2;
+  auto flat = random_vec(static_cast<std::size_t>(M * K), 5);
+  std::vector<float> blocked(flat.size()), back(flat.size());
+  block_a_matrix(flat.data(), blocked.data(), M, K, bm, bk);
+  unblock_a_matrix(blocked.data(), back.data(), M, K, bm, bk);
+  EXPECT_EQ(back, flat);
+}
+
+TEST(BlockedLayout, BlockElementPlacement) {
+  // A[Mb][Kb][bk][bm]: element (m, k) of the flat matrix lives at block
+  // (m/bm, k/bk), inner offset (k%bk)*bm + m%bm.
+  const std::int64_t M = 8, K = 6, bm = 4, bk = 3;
+  std::vector<float> flat(static_cast<std::size_t>(M * K));
+  for (std::size_t i = 0; i < flat.size(); ++i) flat[i] = static_cast<float>(i);
+  std::vector<float> blocked(flat.size());
+  block_a_matrix(flat.data(), blocked.data(), M, K, bm, bk);
+  const std::int64_t Kb = K / bk;
+  for (std::int64_t mm = 0; mm < M; ++mm)
+    for (std::int64_t kk = 0; kk < K; ++kk) {
+      const std::int64_t idx =
+          (((mm / bm) * Kb + kk / bk) * bk + kk % bk) * bm + mm % bm;
+      EXPECT_EQ(blocked[static_cast<std::size_t>(idx)],
+                flat[static_cast<std::size_t>(mm + kk * M)]);
+    }
+}
+
+}  // namespace
+}  // namespace plt::tpp

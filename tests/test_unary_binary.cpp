@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "test_utils.hpp"
+#include "tpp/binary.hpp"
+#include "tpp/unary.hpp"
+
+namespace plt::tpp {
+namespace {
+
+using plt::test::expect_allclose;
+using plt::test::random_vec;
+
+// ---------- parameterized elementwise sweep ----------
+
+using UnaryParam = std::tuple<UnaryKind, std::int64_t, std::int64_t>;
+
+class UnaryElementwiseP : public ::testing::TestWithParam<UnaryParam> {};
+
+TEST_P(UnaryElementwiseP, MatchesScalarReference) {
+  const auto [kind, rows, cols] = GetParam();
+  // Positive-shifted input keeps sqrt/rsqrt/reciprocal well-defined.
+  const bool needs_positive = kind == UnaryKind::kSqrt ||
+                              kind == UnaryKind::kRsqrt ||
+                              kind == UnaryKind::kReciprocal;
+  auto in = random_vec(static_cast<std::size_t>(rows * cols), 11,
+                       needs_positive ? 0.1f : -2.0f, 2.0f);
+  std::vector<float> out(in.size(), -7.0f);
+  UnaryTPP tpp(kind, rows, cols);
+  tpp(in.data(), out.data());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_FLOAT_EQ(out[i], unary_scalar_op(kind, in[i], 1.0f)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, UnaryElementwiseP,
+    ::testing::Combine(
+        ::testing::Values(UnaryKind::kZero, UnaryKind::kCopy, UnaryKind::kRelu,
+                          UnaryKind::kGelu, UnaryKind::kTanh,
+                          UnaryKind::kSigmoid, UnaryKind::kExp,
+                          UnaryKind::kSqrt, UnaryKind::kRsqrt,
+                          UnaryKind::kReciprocal, UnaryKind::kNegate,
+                          UnaryKind::kSquare, UnaryKind::kAbs),
+        ::testing::Values<std::int64_t>(1, 7, 16),
+        ::testing::Values<std::int64_t>(1, 5, 32)));
+
+TEST(UnaryTPP, StridedLeadingDimensions) {
+  const std::int64_t rows = 5, cols = 4, ldi = 9, ldo = 7;
+  auto in = random_vec(static_cast<std::size_t>(ldi * cols), 3);
+  std::vector<float> out(static_cast<std::size_t>(ldo * cols), -1.0f);
+  UnaryTPP tpp(UnaryDesc{UnaryKind::kRelu, rows, cols, ldi, ldo,
+                         DType::F32, DType::F32, 1.0f});
+  tpp(in.data(), out.data());
+  for (std::int64_t j = 0; j < cols; ++j) {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i + j * ldo)],
+                      std::max(0.0f, in[static_cast<std::size_t>(i + j * ldi)]));
+    }
+    // Padding between columns is untouched.
+    for (std::int64_t i = rows; i < ldo; ++i) {
+      EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i + j * ldo)], -1.0f);
+    }
+  }
+}
+
+TEST(UnaryTPP, ScaleAndLeakyReluUseAlpha) {
+  auto in = random_vec(32, 5);
+  std::vector<float> out(32);
+  UnaryTPP scale(UnaryDesc{UnaryKind::kScale, 8, 4, 0, 0, DType::F32,
+                           DType::F32, 2.5f});
+  scale(in.data(), out.data());
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_FLOAT_EQ(out[i], 2.5f * in[i]);
+
+  UnaryTPP leaky(UnaryDesc{UnaryKind::kLeakyRelu, 8, 4, 0, 0, DType::F32,
+                           DType::F32, 0.1f});
+  leaky(in.data(), out.data());
+  for (std::size_t i = 0; i < 32; ++i)
+    EXPECT_FLOAT_EQ(out[i], in[i] > 0 ? in[i] : 0.1f * in[i]);
+}
+
+TEST(UnaryTPP, CopyConvertsBf16BothWays) {
+  auto in = random_vec(64, 17);
+  std::vector<bf16> mid(64);
+  std::vector<float> back(64);
+  UnaryTPP down(UnaryKind::kCopy, 8, 8, DType::F32, DType::BF16);
+  UnaryTPP up(UnaryKind::kCopy, 8, 8, DType::BF16, DType::F32);
+  down(in.data(), mid.data());
+  up(mid.data(), back.data());
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(back[i], bf16::from_f32(in[i]).to_f32());
+  }
+}
+
+TEST(UnaryTPP, ZeroIgnoresInputDtype) {
+  std::vector<float> out(16, 5.0f);
+  UnaryTPP z(UnaryKind::kZero, 4, 4);
+  z(nullptr, out.data());  // zero never reads the input
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(UnaryTPP, ReluBwdMasksBySavedInput) {
+  auto grad = random_vec(24, 21);
+  auto saved = random_vec(24, 22);
+  std::vector<float> out(24);
+  UnaryTPP tpp(UnaryKind::kReluBwd, 6, 4);
+  tpp(grad.data(), out.data(), saved.data());
+  for (std::size_t i = 0; i < 24; ++i)
+    EXPECT_FLOAT_EQ(out[i], saved[i] > 0 ? grad[i] : 0.0f);
+}
+
+TEST(UnaryTPP, GeluBwdMatchesFiniteDifference) {
+  auto x = random_vec(16, 31, -1.5f, 1.5f);
+  std::vector<float> grad(16, 1.0f), got(16);
+  UnaryTPP tpp(UnaryKind::kGeluBwd, 4, 4);
+  tpp(grad.data(), got.data(), x.data());
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const float fd = (gelu_fwd_scalar(x[i] + h) - gelu_fwd_scalar(x[i] - h)) /
+                     (2.0f * h);
+    EXPECT_NEAR(got[i], fd, 5e-3f) << "x=" << x[i];
+  }
+}
+
+// ---------- reductions ----------
+
+TEST(UnaryTPP, ReduceSumAndMax) {
+  const std::int64_t rows = 6, cols = 5;
+  auto in = random_vec(static_cast<std::size_t>(rows * cols), 13);
+  std::vector<float> row_sum(static_cast<std::size_t>(cols));
+  std::vector<float> col_sum(static_cast<std::size_t>(rows));
+  std::vector<float> row_max(static_cast<std::size_t>(cols));
+  UnaryTPP(UnaryKind::kReduceSumRows, rows, cols)(in.data(), row_sum.data());
+  UnaryTPP(UnaryKind::kReduceSumCols, rows, cols)(in.data(), col_sum.data());
+  UnaryTPP(UnaryKind::kReduceMaxRows, rows, cols)(in.data(), row_max.data());
+  for (std::int64_t j = 0; j < cols; ++j) {
+    float s = 0.0f, mx = -1e30f;
+    for (std::int64_t i = 0; i < rows; ++i) {
+      s += in[static_cast<std::size_t>(i + j * rows)];
+      mx = std::max(mx, in[static_cast<std::size_t>(i + j * rows)]);
+    }
+    EXPECT_NEAR(row_sum[static_cast<std::size_t>(j)], s, 1e-5f);
+    EXPECT_FLOAT_EQ(row_max[static_cast<std::size_t>(j)], mx);
+  }
+  for (std::int64_t i = 0; i < rows; ++i) {
+    float s = 0.0f;
+    for (std::int64_t j = 0; j < cols; ++j)
+      s += in[static_cast<std::size_t>(i + j * rows)];
+    EXPECT_NEAR(col_sum[static_cast<std::size_t>(i)], s, 1e-5f);
+  }
+}
+
+// ---------- binary ----------
+
+using BinaryParam = std::tuple<BinaryKind, Broadcast>;
+
+class BinaryP : public ::testing::TestWithParam<BinaryParam> {};
+
+TEST_P(BinaryP, MatchesScalarReference) {
+  const auto [kind, bcast] = GetParam();
+  const std::int64_t rows = 7, cols = 6;
+  std::size_t in0_elems = static_cast<std::size_t>(rows * cols);
+  if (bcast == Broadcast::kRow) in0_elems = static_cast<std::size_t>(cols);
+  if (bcast == Broadcast::kCol) in0_elems = static_cast<std::size_t>(rows);
+  if (bcast == Broadcast::kScalar) in0_elems = 1;
+  auto in0 = random_vec(in0_elems, 41, 0.5f, 2.0f);  // positive: div-safe
+  auto in1 = random_vec(static_cast<std::size_t>(rows * cols), 42, 0.5f, 2.0f);
+  std::vector<float> out(in1.size());
+  BinaryTPP tpp(kind, rows, cols, DType::F32, bcast);
+  tpp(in0.data(), in1.data(), out.data());
+  for (std::int64_t j = 0; j < cols; ++j) {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      float a = 0.0f;
+      switch (bcast) {
+        case Broadcast::kNone: a = in0[static_cast<std::size_t>(i + j * rows)]; break;
+        case Broadcast::kRow: a = in0[static_cast<std::size_t>(j)]; break;
+        case Broadcast::kCol: a = in0[static_cast<std::size_t>(i)]; break;
+        case Broadcast::kScalar: a = in0[0]; break;
+      }
+      const float b = in1[static_cast<std::size_t>(i + j * rows)];
+      ASSERT_FLOAT_EQ(out[static_cast<std::size_t>(i + j * rows)],
+                      binary_scalar_op(kind, a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndBroadcasts, BinaryP,
+    ::testing::Combine(::testing::Values(BinaryKind::kAdd, BinaryKind::kSub,
+                                         BinaryKind::kMul, BinaryKind::kDiv,
+                                         BinaryKind::kMax, BinaryKind::kMin),
+                       ::testing::Values(Broadcast::kNone, Broadcast::kRow,
+                                         Broadcast::kCol, Broadcast::kScalar)));
+
+TEST(BinaryTPP, MixedPrecisionAdd) {
+  auto a = random_vec(16, 51);
+  auto bf = plt::test::to_bf16(random_vec(16, 52));
+  std::vector<float> out(16);
+  BinaryTPP tpp(BinaryDesc{BinaryKind::kAdd, 4, 4, 0, 0, 0, DType::F32,
+                           DType::BF16, DType::F32, Broadcast::kNone});
+  tpp(a.data(), bf.data(), out.data());
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_FLOAT_EQ(out[i], a[i] + bf[i].to_f32());
+}
+
+TEST(UnaryTPP, RejectsBadDescriptors) {
+  EXPECT_THROW(UnaryTPP(UnaryKind::kCopy, 0, 4), std::invalid_argument);
+  EXPECT_THROW(UnaryTPP(UnaryDesc{UnaryKind::kCopy, 8, 4, 2 /* ldi < rows */,
+                                  0, DType::F32, DType::F32, 1.0f}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plt::tpp

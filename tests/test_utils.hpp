@@ -1,0 +1,63 @@
+// Shared test helpers: naive references and tolerance-aware comparisons.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/bf16.hpp"
+#include "common/rng.hpp"
+
+namespace plt::test {
+
+// Naive col-major GEMM: C(m x n) = beta * C + A(m x k) * B(k x n).
+inline void naive_gemm(const float* a, const float* b, float* c,
+                       std::int64_t m, std::int64_t n, std::int64_t k,
+                       std::int64_t lda, std::int64_t ldb, std::int64_t ldc,
+                       float beta) {
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      double sum = beta == 0.0f ? 0.0 : static_cast<double>(c[i + j * ldc]);
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        sum += static_cast<double>(a[i + kk * lda]) *
+               static_cast<double>(b[kk + j * ldb]);
+      }
+      c[i + j * ldc] = static_cast<float>(sum);
+    }
+  }
+}
+
+// Relative-error comparison scaled by the reduction length.
+inline void expect_allclose(const float* got, const float* want,
+                            std::size_t n, float rel_tol,
+                            const char* what = "") {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float scale = std::max(1.0f, std::fabs(want[i]));
+    ASSERT_NEAR(got[i], want[i], rel_tol * scale)
+        << what << " mismatch at flat index " << i;
+  }
+}
+
+inline std::vector<float> random_vec(std::size_t n, std::uint64_t seed,
+                                     float lo = -1.0f, float hi = 1.0f) {
+  std::vector<float> v(n);
+  Xoshiro256 rng(seed);
+  fill_uniform(v.data(), n, rng, lo, hi);
+  return v;
+}
+
+inline std::vector<bf16> to_bf16(const std::vector<float>& v) {
+  std::vector<bf16> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = bf16::from_f32(v[i]);
+  return out;
+}
+
+inline std::vector<float> to_f32(const std::vector<bf16>& v) {
+  std::vector<float> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i].to_f32();
+  return out;
+}
+
+}  // namespace plt::test
