@@ -46,9 +46,12 @@ double bench_baseline_bf16(std::int64_t n, int iters) {
 
 int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
-  std::vector<std::int64_t> sizes = full
-                                        ? std::vector<std::int64_t>{512, 1024, 2048, 4096}
-                                        : std::vector<std::int64_t>{128, 256, 512};
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  std::vector<std::int64_t> sizes =
+      full ? std::vector<std::int64_t>{512, 1024, 2048, 4096}
+           : smoke ? std::vector<std::int64_t>{128, 256}
+                   : std::vector<std::int64_t>{128, 256, 512};
+  bench::JsonReporter json("fig2_gemm");
   bench::print_header("Fig. 2 — GEMM GFLOPS (MxKxN square), per precision");
   std::printf("%-16s %-6s %12s %12s %12s %8s\n", "size", "dtype",
               "PARLOOPER", "library-sub", "naive-floor", "speedup");
@@ -83,8 +86,21 @@ int main(int argc, char** argv) {
                   static_cast<long>(n), static_cast<long>(n),
                   static_cast<long>(n), dt == DType::F32 ? "fp32" : "bf16",
                   ours.gflops, lib, naive, ours.gflops / lib);
+      const std::string dts = dt == DType::F32 ? "fp32" : "bf16";
+      json.add("gemm_" + std::to_string(n) + "_" + dts + "_parlooper",
+               ours.gflops, ours.seconds * 1e9);
+      json.add("gemm_" + std::to_string(n) + "_" + dts + "_library_sub", lib,
+               0.0);
     }
   }
+
+  // Per-invocation dispatch overhead of a tiny nest under each execution
+  // runtime — the cost the persistent pool is built to eliminate. The paper
+  // claim is that steady-state dispatch is a cached lookup, not a region
+  // respawn (Section II-B).
+  bench::print_header("Small-nest dispatch overhead (ns/invocation)");
+  bench::report_dispatch_overhead(json, smoke ? 2000 : 20000);
+
   std::printf("\nexpected shape: PARLOOPER >= library substitute; bf16 >= fp32 "
               "on machines with bf16 acceleration.\n");
   return 0;

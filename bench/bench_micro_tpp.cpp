@@ -3,6 +3,7 @@
 // layernorm equations, and the VNNI pack transform.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
 #include "common/rng.hpp"
 #include "tpp/brgemm.hpp"
 #include "tpp/equations.hpp"
@@ -111,6 +112,42 @@ void BM_Vnni2Pack(benchmark::State& state) {
 }
 BENCHMARK(BM_Vnni2Pack)->Arg(32)->Arg(128);
 
+// PARLOOPER dispatch overhead per invocation, per execution runtime. The
+// runtime is flipped in-process so one run records the pool-vs-omp ratio.
+void BM_NestDispatch(benchmark::State& state, plt::Runtime rt) {
+  const plt::Runtime saved = plt::runtime();
+  plt::set_runtime(rt);
+  std::vector<parlooper::LoopSpecs> loops = {parlooper::LoopSpecs{0, 4, 1, {}},
+                                             parlooper::LoopSpecs{0, 4, 1, {}}};
+  parlooper::LoopNest nest(loops, "Ab", parlooper::Backend::kInterpreter);
+  std::int64_t sink = 0;
+  const parlooper::BodyFn body = [&](const std::int64_t* ind) {
+    sink += ind[0] + ind[1];
+  };
+  for (auto _ : state) {
+    nest(body);
+    benchmark::DoNotOptimize(sink);
+  }
+  plt::set_runtime(saved);
+}
+BENCHMARK_CAPTURE(BM_NestDispatch, serial, plt::Runtime::kSerial);
+#if defined(PLT_HAVE_OPENMP)
+// Without OpenMP this row would silently measure the serial fallback.
+BENCHMARK_CAPTURE(BM_NestDispatch, omp, plt::Runtime::kOpenMP);
+#endif
+BENCHMARK_CAPTURE(BM_NestDispatch, pool, plt::Runtime::kPool);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // BENCH_micro_tpp.json: the per-runtime dispatch overhead rows tracked
+  // across PRs (the acceptance metric for the persistent-pool runtime).
+  plt::bench::JsonReporter json("micro_tpp");
+  plt::bench::report_dispatch_overhead(json, 20000);
+  return 0;
+}

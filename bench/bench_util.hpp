@@ -7,13 +7,17 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/aligned_buffer.hpp"
+#include "common/cpu_features.hpp"
 #include "common/rng.hpp"
+#include "common/threading.hpp"
 #include "common/timer.hpp"
 #include "kernels/gemm_kernel.hpp"
+#include "parlooper/threaded_loop.hpp"
 
 namespace plt::bench {
 
@@ -26,6 +30,118 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
 
 inline void print_header(const char* title) {
   std::printf("\n=== %s ===\n", title);
+}
+
+// Machine-readable perf tracking: every bench appends records and writes
+// BENCH_<bench>.json on destruction (into $PLT_BENCH_JSON_DIR or the CWD),
+// so the perf trajectory across PRs is diffable by tooling instead of being
+// buried in stdout tables.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  // gflops <= 0 or ns_per_invocation <= 0 are recorded as null (a metric
+  // that does not apply to this row).
+  void add(const std::string& name, double gflops_v, double ns_per_invocation,
+           const std::string& runtime_label = "") {
+    Record r;
+    r.name = name;
+    r.gflops = gflops_v;
+    r.ns_per_invocation = ns_per_invocation;
+    r.runtime = runtime_label.empty() ? runtime_name(runtime()) : runtime_label;
+    records_.push_back(std::move(r));
+  }
+
+  ~JsonReporter() { write(); }
+
+  void write() const {
+    const char* dir = std::getenv("PLT_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
+                             "BENCH_" + bench_name_ + ".json";
+    std::ofstream os(path);
+    if (!os) return;
+    os << "{\n  \"bench\": \"" << bench_name_ << "\",\n"
+       << "  \"threads\": " << max_threads() << ",\n"
+       << "  \"isa\": \"" << isa_name(effective_isa()) << "\",\n"
+       << "  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      os << "    {\"name\": \"" << r.name << "\", \"runtime\": \""
+         << r.runtime << "\", \"gflops\": ";
+      if (r.gflops > 0) os << r.gflops; else os << "null";
+      os << ", \"ns_per_invocation\": ";
+      if (r.ns_per_invocation > 0) os << r.ns_per_invocation; else os << "null";
+      os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::printf("[bench] wrote %s (%zu records)\n", path.c_str(),
+                records_.size());
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double gflops = 0.0;
+    double ns_per_invocation = 0.0;
+    std::string runtime;
+  };
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
+
+// Per-invocation dispatch overhead of a small PARLOOPER nest (the runtime's
+// fixed cost: region entry, schedule lookup, body walk) in nanoseconds. The
+// tiny body keeps the work negligible, so the number isolates what the
+// paper says must be near zero (Section II-B).
+inline double small_nest_ns_per_invocation(int repeats = 20000) {
+  std::vector<parlooper::LoopSpecs> loops = {
+      parlooper::LoopSpecs{0, 4, 1, {}}, parlooper::LoopSpecs{0, 4, 1, {}}};
+  parlooper::LoopNest nest(loops, "Ab", parlooper::Backend::kInterpreter);
+  volatile std::int64_t sink = 0;
+  // A prebuilt BodyFn so the measurement excludes std::function construction.
+  const parlooper::BodyFn body = [&](const std::int64_t* ind) {
+    sink += ind[0] + ind[1];
+  };
+  const double s = time_best_seconds(
+      [&] {
+        for (int i = 0; i < repeats; ++i) nest(body);
+      },
+      1, 3);
+  return s / repeats * 1e9;
+}
+
+// Measures small-nest dispatch overhead under every built runtime, prints a
+// table, records overhead_small_nest_<runtime> JSON rows, and returns the
+// omp/pool ratio (0 when OpenMP is not built — an "omp" row would really be
+// the serial fallback, which would poison the tracked history and the CI
+// gate). Shared by bench_fig2_gemm and bench_micro_tpp so the rows the gate
+// reads come from one place.
+inline double report_dispatch_overhead(JsonReporter& json, int repeats) {
+  const Runtime saved = runtime();
+  std::vector<Runtime> runtimes = {Runtime::kSerial, Runtime::kPool};
+#if defined(PLT_HAVE_OPENMP)
+  runtimes.insert(runtimes.begin() + 1, Runtime::kOpenMP);
+#else
+  std::printf("(OpenMP not built: omp overhead row skipped)\n");
+#endif
+  double ns_omp = 0.0, ns_pool = 0.0;
+  for (Runtime rt : runtimes) {
+    set_runtime(rt);
+    const double ns = small_nest_ns_per_invocation(repeats);
+    set_runtime(saved);
+    std::printf("%-8s %10.1f ns/invocation\n", runtime_name(rt), ns);
+    json.add(std::string("overhead_small_nest_") + runtime_name(rt), 0.0, ns,
+             runtime_name(rt));
+    if (rt == Runtime::kOpenMP) ns_omp = ns;
+    if (rt == Runtime::kPool) ns_pool = ns;
+  }
+  if (ns_pool > 0.0 && ns_omp > 0.0) {
+    std::printf("pool vs omp per-invocation overhead: %.2fx lower\n",
+                ns_omp / ns_pool);
+    return ns_omp / ns_pool;
+  }
+  return 0.0;
 }
 
 // Prepares packed operands and times a GEMM kernel; returns GFLOPS.

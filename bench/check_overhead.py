@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""CI gate: the persistent-pool runtime must keep its small-nest dispatch
+advantage over the per-call OpenMP region path.
+
+Usage: check_overhead.py BENCH_micro_tpp.json [min_ratio]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_micro_tpp.json"
+    min_ratio = float(sys.argv[2]) if len(sys.argv) > 2 else 1.3
+    with open(path) as f:
+        data = json.load(f)
+    ns = {r["name"]: r["ns_per_invocation"] for r in data["records"]}
+    omp = ns.get("overhead_small_nest_omp")
+    pool = ns.get("overhead_small_nest_pool")
+    if not pool:
+        print(f"missing pool overhead record in {path}: {sorted(ns)}")
+        return 1
+    if not omp:
+        # No-OpenMP build: there is no per-call region-spawn baseline to
+        # gate against (the bench skips the row rather than mislabel the
+        # serial fallback as omp).
+        print(f"no omp record in {path} (OpenMP not built); gate skipped")
+        return 0
+    ratio = omp / pool
+    print(f"omp={omp:.1f}ns pool={pool:.1f}ns ratio={ratio:.2f}x "
+          f"(required >= {min_ratio}x)")
+    if ratio < min_ratio:
+        print("FAIL: pool runtime lost its dispatch-overhead advantage")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+#if defined(PLT_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define PLT_CPU_PAUSE() _mm_pause()
+#else
+#define PLT_CPU_PAUSE() std::this_thread::yield()
+#endif
+
+namespace plt {
+
+namespace {
+
+// Spin budget before parking/yielding. Small enough that an oversubscribed
+// team (more threads than cores) converges quickly to yield-based waiting.
+constexpr int kSpinIters = 1 << 12;
+
+void pin_to_core(int tid) {
+#if defined(__linux__)
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(tid) % cores, &set);
+  ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set);
+#else
+  (void)tid;
+#endif
+}
+
+bool pinning_enabled() {
+  static const bool v = [] {
+    const char* env = std::getenv("PLT_PIN");
+    return env == nullptr || env[0] != '0';
+  }();
+  return v;
+}
+
+}  // namespace
+
+namespace detail {
+RegionContext& region_context() {
+  thread_local RegionContext ctx;
+  return ctx;
+}
+}  // namespace detail
+
+ThreadPool::ThreadPool(int nthreads, bool pin)
+    : nthreads_(nthreads < 1 ? 1 : nthreads), pin_(pin) {
+  slots_.resize(static_cast<std::size_t>(nthreads_));
+  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+  for (int t = 1; t < nthreads_; ++t) {
+    workers_.emplace_back([this, t] { worker_main(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_main(int tid) {
+  if (pin_ && pinning_enabled()) pin_to_core(tid);
+  std::uint64_t last_epoch = 0;
+  while (true) {
+    // Wait for the next region (or shutdown): spin briefly, then park.
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == last_epoch &&
+           !shutdown_.load(std::memory_order_acquire)) {
+      if (++spins < kSpinIters) {
+        PLT_CPU_PAUSE();
+      } else {
+        std::unique_lock<std::mutex> lk(wake_mu_);
+        wake_cv_.wait(lk, [&] {
+          return epoch_.load(std::memory_order_acquire) != last_epoch ||
+                 shutdown_.load(std::memory_order_acquire);
+        });
+      }
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    last_epoch = epoch_.load(std::memory_order_acquire);
+
+    detail::RegionContext& ctx = detail::region_context();
+    ctx = {this, tid, nthreads_, true};
+    fn_(ctx_, tid, nthreads_);
+    ctx = {};
+
+    if (done_count_.fetch_add(1, std::memory_order_acq_rel) == nthreads_ - 2) {
+      // Last worker: release the dispatcher if it fell asleep.
+      std::lock_guard<std::mutex> g(done_mu_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::wait_workers_done() {
+  int spins = 0;
+  while (done_count_.load(std::memory_order_acquire) != nthreads_ - 1) {
+    if (++spins < kSpinIters) {
+      PLT_CPU_PAUSE();
+    } else {
+      std::unique_lock<std::mutex> lk(done_mu_);
+      done_cv_.wait(lk, [&] {
+        return done_count_.load(std::memory_order_acquire) == nthreads_ - 1;
+      });
+    }
+  }
+}
+
+void ThreadPool::run(RegionFn fn, void* ctx) {
+  detail::RegionContext& rc = detail::region_context();
+  if (rc.active || nthreads_ == 1) {
+    // Nested (or single-thread) dispatch degrades to a serial region.
+    if (rc.active) {
+      fn(ctx, 0, 1);
+      return;
+    }
+    rc = {this, 0, 1, true};
+    fn(ctx, 0, 1);
+    rc = {};
+    return;
+  }
+
+  // One team, one dispatcher: a second application thread dispatching while
+  // the team is busy runs its region serially instead of racing on the
+  // dispatch state (which would deadlock) or convoying behind the first.
+  if (!dispatch_mu_.try_lock()) {
+    rc = {this, 0, 1, true};
+    fn(ctx, 0, 1);
+    rc = {};
+    return;
+  }
+  std::lock_guard<std::mutex> dispatch_guard(dispatch_mu_, std::adopt_lock);
+
+  fn_ = fn;
+  ctx_ = ctx;
+  done_count_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    // Pairs with the predicate check in worker_main's parked wait.
+    std::lock_guard<std::mutex> g(wake_mu_);
+  }
+  wake_cv_.notify_all();
+
+  rc = {this, 0, nthreads_, true};
+  fn(ctx, 0, nthreads_);
+  rc = {};
+
+  wait_workers_done();
+  fn_ = nullptr;
+  ctx_ = nullptr;
+}
+
+void ThreadPool::barrier(int tid) {
+  if (nthreads_ == 1) return;
+  PerThread& slot = slots_[static_cast<std::size_t>(tid)];
+  const int ls = 1 - slot.barrier_sense;
+  slot.barrier_sense = ls;
+  if (bar_waiting_.fetch_add(1, std::memory_order_acq_rel) == nthreads_ - 1) {
+    bar_waiting_.store(0, std::memory_order_relaxed);
+    bar_sense_.store(ls, std::memory_order_release);
+  } else {
+    int spins = 0;
+    while (bar_sense_.load(std::memory_order_acquire) != ls) {
+      // Yield past the spin budget so oversubscribed teams make progress.
+      if (++spins < kSpinIters) {
+        PLT_CPU_PAUSE();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+int ThreadPool::default_size() {
+  if (const char* env = std::getenv("PLT_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+#if defined(PLT_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+#endif
+}
+
+ThreadPool& ThreadPool::instance() {
+  // Leaked on purpose: worker threads must not be joined during static
+  // destruction (kernels may still run in atexit handlers).
+  static ThreadPool* pool = new ThreadPool(default_size());
+  return *pool;
+}
+
+namespace {
+
+Runtime runtime_from_env() {
+  const char* env = std::getenv("PLT_RUNTIME");
+  if (env != nullptr) {
+    if (std::strcmp(env, "serial") == 0) return Runtime::kSerial;
+    if (std::strcmp(env, "omp") == 0) return Runtime::kOpenMP;
+    if (std::strcmp(env, "pool") == 0) return Runtime::kPool;
+  }
+  return Runtime::kPool;
+}
+
+std::atomic<Runtime>& runtime_state() {
+  static std::atomic<Runtime> r{runtime_from_env()};
+  return r;
+}
+
+}  // namespace
+
+Runtime runtime() { return runtime_state().load(std::memory_order_relaxed); }
+
+void set_runtime(Runtime r) {
+  runtime_state().store(r, std::memory_order_relaxed);
+}
+
+const char* runtime_name(Runtime r) {
+  switch (r) {
+    case Runtime::kSerial: return "serial";
+    case Runtime::kOpenMP: return "omp";
+    case Runtime::kPool: return "pool";
+  }
+  return "?";
+}
+
+}  // namespace plt

@@ -1,0 +1,114 @@
+// Persistent worker-thread pool: the PLT_RUNTIME=pool execution backend.
+//
+// The paper's performance thesis is that PARLOOPER adds near-zero overhead
+// per nest invocation (Section II-B: plans and JITed nests are cached, so
+// steady-state dispatch is a lookup). An OpenMP `#pragma omp parallel` per
+// nest call undermines that for small nests: every invocation pays region
+// spawn/join. This pool keeps one process-wide team of pinned threads alive;
+// dispatching a region is a single atomic epoch bump, and in-region barriers
+// are a cache-line-padded sense-reversing flag flip — no kernel transitions
+// on the steady-state path (workers spin briefly, then park on a condvar so
+// an idle process does not burn CPU).
+//
+// Semantics match plt::parallel_region(fn): fn(tid, nthreads) runs once per
+// team member, tid 0 being the dispatching thread. Nested dispatch from
+// inside a region degrades to a serial call, like OpenMP with nesting off.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace plt {
+
+class ThreadPool {
+ public:
+  using RegionFn = void (*)(void* ctx, int tid, int nthreads);
+
+  // Spawns nthreads - 1 workers; the dispatching thread participates as
+  // tid 0. pin=true binds thread i to logical core i % cores.
+  explicit ThreadPool(int nthreads, bool pin = true);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return nthreads_; }
+
+  // Runs fn(ctx, tid, size()) on every team member and returns when all are
+  // done. Calls from inside an active region (any pool) run fn(ctx, 0, 1).
+  void run(RegionFn fn, void* ctx);
+
+  // Sense-reversing barrier across the team; callable only from inside a
+  // region, by every member.
+  void barrier(int tid);
+
+  // The process-wide pool used by parallel_region(). Created on first use
+  // with default_size() threads.
+  static ThreadPool& instance();
+
+  // PLT_NUM_THREADS env override, else OpenMP's max, else hardware cores.
+  static int default_size();
+
+ private:
+  struct alignas(64) PerThread {
+    int barrier_sense = 0;        // owner-thread only
+    char pad[60];
+  };
+
+  void worker_main(int tid);
+  void wait_workers_done();
+
+  int nthreads_;
+  bool pin_;
+  std::vector<std::thread> workers_;
+  std::vector<PerThread> slots_;
+
+  // Dispatch state: workers watch epoch_; fn_/ctx_ are published before the
+  // epoch bump (release) and read after observing it (acquire).
+  alignas(64) std::atomic<std::uint64_t> epoch_{0};
+  RegionFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::atomic<bool> shutdown_{false};
+  alignas(64) std::atomic<int> done_count_{0};
+
+  // Region barrier (centralized sense-reversing).
+  alignas(64) std::atomic<int> bar_waiting_{0};
+  alignas(64) std::atomic<int> bar_sense_{0};
+
+  // Serializes top-level dispatchers; losers degrade to serial regions
+  // (there is only one worker team to hand out).
+  std::mutex dispatch_mu_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+};
+
+// Execution runtime selector shared with common/threading.hpp.
+enum class Runtime { kSerial, kOpenMP, kPool };
+
+// Current runtime: PLT_RUNTIME=omp|pool|serial (default pool), overridable
+// programmatically (benchmarks flip it to compare backends in-process).
+Runtime runtime();
+void set_runtime(Runtime r);
+const char* runtime_name(Runtime r);
+
+namespace detail {
+// Thread-local region context maintained by the active backend so that
+// thread_id()/num_threads_in_region()/thread_barrier() work inside pool
+// regions exactly as they do inside OpenMP regions.
+struct RegionContext {
+  ThreadPool* pool = nullptr;
+  int tid = 0;
+  int nthreads = 1;
+  bool active = false;
+};
+RegionContext& region_context();
+}  // namespace detail
+
+}  // namespace plt

@@ -1,23 +1,48 @@
-// Thin OpenMP wrappers so the rest of the library builds (single-threaded)
-// even when OpenMP is unavailable. PARLOOPER's generated loops target these
-// semantics: the paper's POC uses OpenMP for concurrency (Section II-B).
+// Execution-runtime seam for PARLOOPER's generated loops (Section II-B uses
+// OpenMP in the paper's POC). Three interchangeable backends provide the
+// same parallel_region(fn(tid, nthreads)) semantics, selected by the
+// PLT_RUNTIME environment variable or set_runtime():
+//
+//   pool    persistent pinned thread pool (default) — region dispatch is an
+//           atomic epoch bump, no per-call thread spawn (thread_pool.hpp)
+//   omp     one OpenMP parallel region per call (the paper's POC behaviour)
+//   serial  single-threaded, for debugging and reference runs
+//
+// All three produce bitwise-identical results: iteration partitioning is a
+// pure function of (tid, nthreads) and each output block is owned by one
+// thread with a fixed sequential reduction order.
 #pragma once
 
 #if defined(PLT_HAVE_OPENMP)
 #include <omp.h>
 #endif
 
+#include <type_traits>
+
+#include "common/thread_pool.hpp"
+
 namespace plt {
 
+// Team size the next parallel_region will use under the current runtime.
 inline int max_threads() {
+  switch (runtime()) {
+    case Runtime::kSerial:
+      return 1;
+    case Runtime::kOpenMP:
 #if defined(PLT_HAVE_OPENMP)
-  return omp_get_max_threads();
+      return omp_get_max_threads();
 #else
-  return 1;
+      return 1;
 #endif
+    case Runtime::kPool:
+      return ThreadPool::instance().size();
+  }
+  return 1;
 }
 
 inline int thread_id() {
+  const detail::RegionContext& ctx = detail::region_context();
+  if (ctx.active) return ctx.tid;
 #if defined(PLT_HAVE_OPENMP)
   return omp_get_thread_num();
 #else
@@ -26,6 +51,8 @@ inline int thread_id() {
 }
 
 inline int num_threads_in_region() {
+  const detail::RegionContext& ctx = detail::region_context();
+  if (ctx.active) return ctx.nthreads;
 #if defined(PLT_HAVE_OPENMP)
   return omp_get_num_threads();
 #else
@@ -34,20 +61,44 @@ inline int num_threads_in_region() {
 }
 
 inline void thread_barrier() {
+  const detail::RegionContext& ctx = detail::region_context();
+  if (ctx.active) {
+    if (ctx.pool != nullptr && ctx.nthreads > 1) ctx.pool->barrier(ctx.tid);
+    return;
+  }
 #if defined(PLT_HAVE_OPENMP)
 #pragma omp barrier
 #endif
 }
 
-// Runs fn(tid, nthreads) inside a parallel region.
+// Runs fn(tid, nthreads) once per team member under the current runtime.
 template <typename Fn>
 void parallel_region(Fn&& fn) {
+  switch (runtime()) {
+    case Runtime::kSerial:
+      break;
+    case Runtime::kOpenMP: {
 #if defined(PLT_HAVE_OPENMP)
+      // OMP's own introspection serves thread_id()/thread_barrier() here, so
+      // no RegionContext is installed.
 #pragma omp parallel
-  { fn(omp_get_thread_num(), omp_get_num_threads()); }
+      { fn(omp_get_thread_num(), omp_get_num_threads()); }
+      return;
 #else
-  fn(0, 1);
+      break;  // no OpenMP in this build: serial fallback
 #endif
+    }
+    case Runtime::kPool: {
+      using FnT = std::remove_reference_t<Fn>;
+      ThreadPool::instance().run(
+          [](void* c, int tid, int nthreads) {
+            (*static_cast<FnT*>(c))(tid, nthreads);
+          },
+          const_cast<void*>(static_cast<const void*>(&fn)));
+      return;
+    }
+  }
+  fn(0, 1);
 }
 
 }  // namespace plt

@@ -1,5 +1,6 @@
 #include "parlooper/interpreter.hpp"
 
+#include <cstdlib>
 #include <vector>
 
 #include "common/check.hpp"
@@ -15,6 +16,7 @@ struct ThreadExec {
   int tid;
   int nthreads;
   bool simulated = false;  // skip barriers when replaying a single thread
+  const VoidFn* on_barrier = nullptr;    // trace hook (schedule precompiler)
   std::int64_t coord[4] = {0, 0, 0, 0};  // index by GridAxis
   std::vector<std::int64_t> cur;         // current value per level
   std::vector<std::int64_t> ind;         // body's logical-index array
@@ -83,7 +85,13 @@ struct ThreadExec {
       cur[li] = base + it * lvl.step;
       run_level(li + 1);
     }
-    if (lvl.term.barrier_after && !simulated) thread_barrier();
+    if (lvl.term.barrier_after) {
+      if (on_barrier != nullptr) {
+        (*on_barrier)();
+      } else if (!simulated) {
+        thread_barrier();
+      }
+    }
   }
 
   // PAR-MODE 1: flatten the group's (constant) trip counts row-major and
@@ -94,8 +102,7 @@ struct ThreadExec {
   void run_collapse_group(std::size_t head) {
     const CompiledLevel& h = plan.levels()[head];
     const int gs = h.group_size;
-    std::int64_t total = 1;
-    for (int g = 0; g < gs; ++g) total *= plan.levels()[head + static_cast<std::size_t>(g)].trip;
+    const std::int64_t total = h.group_total;  // precompiled by the plan
 
     const auto exec_flat = [&](std::int64_t flat) {
       std::int64_t rem = flat;
@@ -133,35 +140,133 @@ struct ThreadExec {
   }
 };
 
+// Runs one thread's full traversal (grid-cell loop included); the shared
+// entry point of live execution, simulation and schedule precompilation.
+void traverse_thread(ThreadExec& exec) {
+  const LoopNestPlan& plan = exec.plan;
+  if (plan.parsed().explicit_grid) {
+    const std::int64_t cells = static_cast<std::int64_t>(plan.grid_rows()) *
+                               plan.grid_cols() * plan.grid_layers();
+    for (std::int64_t cell = exec.tid; cell < cells; cell += exec.nthreads) {
+      exec.set_cell(cell);
+      exec.run_level(0);
+    }
+  } else {
+    exec.run_level(0);
+  }
+}
+
+// Steady-state executor: walks a precompiled ThreadProgram. The body sees
+// exactly the index tuples the recursive traversal would have produced, with
+// real barriers at segment boundaries.
+void walk_program(const ThreadProgram& prog, int num_logical,
+                  const BodyFn& body, bool live_barriers) {
+  const std::int64_t* ind = prog.inds.data();
+  const std::size_t nseg = prog.seg_len.size();
+  for (std::size_t s = 0; s < nseg; ++s) {
+    for (std::int64_t i = 0; i < prog.seg_len[s]; ++i) {
+      body(ind);
+      ind += num_logical;
+    }
+    if (live_barriers && s + 1 < nseg) thread_barrier();
+  }
+}
+
+// Records one thread's trace as a ThreadProgram.
+ThreadProgram record_program(const LoopNestPlan& plan, int tid, int nthreads) {
+  ThreadProgram prog;
+  const int nlog = plan.num_logical();
+  std::int64_t seg = 0;
+  const BodyFn recorder = [&](const std::int64_t* ind) {
+    prog.inds.insert(prog.inds.end(), ind, ind + nlog);
+    ++seg;
+  };
+  const VoidFn barrier_hook = [&] {
+    prog.seg_len.push_back(seg);
+    seg = 0;
+  };
+  ThreadExec exec(plan, recorder, tid, nthreads);
+  exec.simulated = true;
+  exec.on_barrier = &barrier_hook;
+  traverse_thread(exec);
+  prog.seg_len.push_back(seg);  // final (possibly empty) segment
+  return prog;
+}
+
 }  // namespace
+
+std::int64_t LoopNestPlan::flat_schedule_max_iters() {
+  static const std::int64_t v = [] {
+    if (const char* env = std::getenv("PLT_FLAT_SCHED_MAX")) {
+      return static_cast<std::int64_t>(std::atoll(env));
+    }
+    return static_cast<std::int64_t>(1) << 13;  // 8192 body invocations
+  }();
+  return v;
+}
+
+const TeamSchedule* LoopNestPlan::team_schedule(int nthreads) const {
+  if (total_iterations_ > flat_schedule_max_iters()) return nullptr;
+
+  // Lock-free hit path: the chain only ever grows at the head and nodes are
+  // immutable once published.
+  for (const TeamSchedule* s = schedules_.load(std::memory_order_acquire);
+       s != nullptr; s = s->next) {
+    if (s->nthreads == nthreads) return s;
+  }
+
+  std::lock_guard<std::mutex> lock(schedule_build_mu_);
+  const TeamSchedule* head = schedules_.load(std::memory_order_relaxed);
+  for (const TeamSchedule* s = head; s != nullptr; s = s->next) {
+    if (s->nthreads == nthreads) return s;
+  }
+
+  auto* sched = new TeamSchedule;
+  sched->nthreads = nthreads;
+  sched->threads.reserve(static_cast<std::size_t>(nthreads));
+  std::size_t nsegs = 0;
+  for (int t = 0; t < nthreads; ++t) {
+    if (t > 0 && !any_parallel_) {
+      // Serial nests execute on thread 0 only (mirrors simulate_thread);
+      // other members get an empty program with matching barrier structure.
+      ThreadProgram idle;
+      idle.seg_len.assign(nsegs, 0);
+      sched->threads.push_back(std::move(idle));
+      continue;
+    }
+    sched->threads.push_back(record_program(*this, t, nthreads));
+    if (t == 0) nsegs = sched->threads[0].seg_len.size();
+    PLT_CHECK(sched->threads.back().seg_len.size() == nsegs,
+              "flat schedule: barrier count differs across threads");
+  }
+  sched->next = head;
+  schedules_.store(sched, std::memory_order_release);
+  return sched;
+}
 
 void run_interpreter(const LoopNestPlan& plan, const BodyFn& body,
                      const VoidFn& init, const VoidFn& term) {
-  bool any_parallel = false;
-  for (const CompiledLevel& lvl : plan.levels()) {
-    any_parallel = any_parallel || lvl.term.parallel;
-  }
-  if (!any_parallel) {
+  if (!plan.any_parallel()) {
     // No parallel letters: a serial nest. (Running it redundantly on every
     // thread, as the raw Listing-2 code would, duplicates the computation.)
     if (init) init();
-    ThreadExec exec(plan, body, 0, 1);
-    exec.run_level(0);
+    if (const TeamSchedule* sched = plan.team_schedule(1)) {
+      walk_program(sched->threads[0], plan.num_logical(), body, false);
+    } else {
+      ThreadExec exec(plan, body, 0, 1);
+      exec.run_level(0);
+    }
     if (term) term();
     return;
   }
   parallel_region([&](int tid, int nthreads) {
     if (init) init();
-    ThreadExec exec(plan, body, tid, nthreads);
-    if (plan.parsed().explicit_grid) {
-      const std::int64_t cells = static_cast<std::int64_t>(plan.grid_rows()) *
-                                 plan.grid_cols() * plan.grid_layers();
-      for (std::int64_t cell = tid; cell < cells; cell += nthreads) {
-        exec.set_cell(cell);
-        exec.run_level(0);
-      }
+    if (const TeamSchedule* sched = plan.team_schedule(nthreads)) {
+      walk_program(sched->threads[static_cast<std::size_t>(tid)],
+                   plan.num_logical(), body, nthreads > 1);
     } else {
-      exec.run_level(0);
+      ThreadExec exec(plan, body, tid, nthreads);
+      traverse_thread(exec);
     }
     if (term) term();
   });
@@ -169,26 +274,16 @@ void run_interpreter(const LoopNestPlan& plan, const BodyFn& body,
 
 void simulate_thread(const LoopNestPlan& plan, int tid, int nthreads,
                      const BodyFn& body) {
-  ThreadExec exec(plan, body, tid, nthreads);
-  exec.simulated = true;
-  bool any_parallel = false;
-  for (const CompiledLevel& lvl : plan.levels()) {
-    any_parallel = any_parallel || lvl.term.parallel;
-  }
-  if (!any_parallel) {
-    if (tid == 0) exec.run_level(0);  // serial nests execute on one thread
+  if (!plan.any_parallel()) {
+    if (tid != 0) return;  // serial nests execute on one thread
+    ThreadExec exec(plan, body, 0, 1);
+    exec.simulated = true;
+    traverse_thread(exec);
     return;
   }
-  if (plan.parsed().explicit_grid) {
-    const std::int64_t cells = static_cast<std::int64_t>(plan.grid_rows()) *
-                               plan.grid_cols() * plan.grid_layers();
-    for (std::int64_t cell = tid; cell < cells; cell += nthreads) {
-      exec.set_cell(cell);
-      exec.run_level(0);
-    }
-  } else {
-    exec.run_level(0);
-  }
+  ThreadExec exec(plan, body, tid, nthreads);
+  exec.simulated = true;
+  traverse_thread(exec);
 }
 
 }  // namespace plt::parlooper

@@ -60,8 +60,25 @@ LoopNestPlan::LoopNestPlan(std::vector<LoopSpecs> loops,
     }
     levels_[li].group_head = true;
     levels_[li].group_size = static_cast<int>(gend - li);
-    for (std::size_t g = li; g < gend; ++g) levels_[g].in_group = true;
+    levels_[li].group_total = 1;
+    for (std::size_t g = li; g < gend; ++g) {
+      levels_[g].in_group = true;
+      levels_[li].group_total *= levels_[g].trip;
+    }
     li = gend;
+  }
+
+  for (const CompiledLevel& lvl : levels_) {
+    any_parallel_ = any_parallel_ || lvl.term.parallel;
+  }
+}
+
+LoopNestPlan::~LoopNestPlan() {
+  const TeamSchedule* s = schedules_.load(std::memory_order_acquire);
+  while (s != nullptr) {
+    const TeamSchedule* next = s->next;
+    delete s;
+    s = next;
   }
 }
 

@@ -4,7 +4,9 @@
 // paper's "blocking lists may be provided at runtime" design.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,23 @@ struct CompiledLevel {
   bool group_head = false;
   int group_size = 0;       // valid at the head
   bool in_group = false;
+  std::int64_t group_total = 0;  // at the head: product of the group's trips
+};
+
+// Precompiled steady-state schedule for one team size: for every thread, the
+// exact body invocations (innermost logical-index tuples, row-major
+// [invocation][num_logical]) in program order, segmented at barrier points.
+// Executing a nest becomes a flat array walk — no recursive re-derivation of
+// chunk bounds, grid cells or collapse-group divisions per call.
+struct ThreadProgram {
+  std::vector<std::int64_t> inds;     // invocations * num_logical values
+  std::vector<std::int64_t> seg_len;  // invocations per barrier-delimited segment
+};
+
+struct TeamSchedule {
+  int nthreads = 0;
+  std::vector<ThreadProgram> threads;
+  const TeamSchedule* next = nullptr;  // intrusive memo chain (see plan)
 };
 
 class LoopNestPlan {
@@ -46,8 +65,30 @@ class LoopNestPlan {
   // Total body invocations of one execution (product of all trip counts).
   std::int64_t total_iterations() const { return total_iterations_; }
 
+  // True when any level is parallelized (precomputed; the hot dispatch path
+  // must not rescan the levels per call).
+  bool any_parallel() const { return any_parallel_; }
+
+  // Precompiled per-thread schedule for an nthreads-wide team, built on
+  // first use and memoized for the plan's lifetime (an invocation is then a
+  // flat walk of ThreadProgram::inds). Returns nullptr when the nest is too
+  // large to flatten (> flat_schedule_max_iters() body calls) — execution
+  // falls back to the recursive interpreter, whose per-call overhead is
+  // amortized by the large body count. The lookup is lock-free on the hit
+  // path (acquire walk of an immutable chain). Defined in interpreter.cpp,
+  // which owns the single source of truth for iteration-order semantics.
+  const TeamSchedule* team_schedule(int nthreads) const;
+
+  // Flattening threshold in body invocations (PLT_FLAT_SCHED_MAX overrides;
+  // 0 disables flat schedules entirely).
+  static std::int64_t flat_schedule_max_iters();
+
   // Cache key covering the generated-code structure.
   std::string structural_key() const;
+
+  ~LoopNestPlan();
+  LoopNestPlan(const LoopNestPlan&) = delete;
+  LoopNestPlan& operator=(const LoopNestPlan&) = delete;
 
  private:
   std::vector<LoopSpecs> loops_;
@@ -57,6 +98,10 @@ class LoopNestPlan {
   std::vector<int> innermost_level_;
   int grid_rows_ = 1, grid_cols_ = 1, grid_layers_ = 1;
   std::int64_t total_iterations_ = 0;
+  bool any_parallel_ = false;
+
+  mutable std::atomic<const TeamSchedule*> schedules_{nullptr};
+  mutable std::mutex schedule_build_mu_;
 };
 
 }  // namespace plt::parlooper

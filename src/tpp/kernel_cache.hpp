@@ -2,15 +2,30 @@
 //
 // In the paper the TPP backend JITs machine code per descriptor and caches
 // it; PARLOOPER likewise caches JITed loop nests so repeated requests return
-// the compiled artifact (Section II-B). This cache reproduces that behaviour
-// for our dispatch-based backend and exposes hit/miss counters that the test
-// suite uses to assert "same descriptor => no second code generation".
+// the compiled artifact (Section II-B). On a serving workload the cache is
+// ~100% hits, so the hit path must not serialize the team:
+//
+//   1. a per-thread direct-mapped memo of the last-resolved kernels answers
+//      repeat lookups with zero shared-state traffic;
+//   2. memo misses take a reader (shared) lock on one of kShards shard maps,
+//      so concurrent hits on different keys never contend and hits on the
+//      same key share the lock;
+//   3. only genuine code generation takes a shard's exclusive lock.
+//
+// Counters are atomics (stats must not race) and count actual events: a hit
+// is a lookup answered from memo or map, a miss is one factory invocation —
+// codegen that loses an insert race is still codegen and still counts (the
+// previous implementation credited the loser with a hit and deferred the
+// winner's miss, so stats drifted from reality under contention).
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -28,48 +43,110 @@ class KernelCache {
 
   std::shared_ptr<Kernel> get_or_create(const std::string& key,
                                         const Factory& factory) {
+    const std::size_t hash = std::hash<std::string>{}(key);
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+
+    MemoEntry& memo = memo_slot(hash);
+    if (memo.cache_id == id_ && memo.epoch == epoch && memo.hash == hash &&
+        memo.key == key) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return memo.kernel;
+    }
+
+    Shard& shard = shards_[hash % kShards];
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = map_.find(key);
-      if (it != map_.end()) {
-        ++hits_;
+      std::shared_lock<std::shared_mutex> lock(shard.mu);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        remember(memo, epoch, hash, key, it->second);
         return it->second;
       }
     }
-    // Build outside the lock (factories may be expensive); last writer wins
-    // on a race, which is harmless because kernels are immutable.
+
+    // Build outside any lock (factories may JIT). Every factory run is a
+    // codegen event and is accounted as a miss, even if it loses the insert
+    // race below (the kernel is immutable, so the winner's copy is kept).
     std::shared_ptr<Kernel> k = factory();
-    std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = map_.emplace(key, k);
-    if (!inserted) {
-      ++hits_;
-      return it->second;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      auto [it, inserted] = shard.map.emplace(key, k);
+      k = it->second;
     }
-    ++misses_;
+    remember(memo, epoch, hash, key, k);
     return k;
   }
 
   CacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return CacheStats{hits_, misses_};
+    return CacheStats{hits_.load(std::memory_order_relaxed),
+                      misses_.load(std::memory_order_relaxed)};
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return map_.size();
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::shared_lock<std::shared_mutex> lock(s.mu);
+      n += s.map.size();
+    }
+    return n;
   }
 
   void clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    map_.clear();
-    hits_ = misses_ = 0;
+    // Bumping the epoch invalidates every thread's memo entries for this
+    // cache without touching other threads' storage.
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    for (Shard& s : shards_) {
+      std::unique_lock<std::shared_mutex> lock(s.mu);
+      s.map.clear();
+    }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Kernel>> map_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kMemoSlots = 8;  // per-thread last-N memo
+
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<Kernel>> map;
+  };
+
+  struct MemoEntry {
+    // Process-unique owner id, NOT a pointer: a destroyed cache's memo
+    // entries must never match a new cache reusing the same address.
+    std::uint64_t cache_id = 0;
+    std::uint64_t epoch = 0;
+    std::size_t hash = 0;
+    std::string key;
+    std::shared_ptr<Kernel> kernel;
+  };
+
+  MemoEntry& memo_slot(std::size_t hash) {
+    thread_local std::array<MemoEntry, kMemoSlots> memo;
+    return memo[hash % kMemoSlots];
+  }
+
+  static std::uint64_t next_cache_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  void remember(MemoEntry& memo, std::uint64_t epoch, std::size_t hash,
+                const std::string& key, const std::shared_ptr<Kernel>& k) {
+    memo.cache_id = id_;
+    memo.epoch = epoch;
+    memo.hash = hash;
+    memo.key = key;
+    memo.kernel = k;
+  }
+
+  std::array<Shard, kShards> shards_;
+  const std::uint64_t id_ = next_cache_id();
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> epoch_{1};
 };
 
 }  // namespace plt::tpp

@@ -1,0 +1,382 @@
+// Persistent-runtime tests: pool barrier correctness (including teams wider
+// than the machine), cross-runtime determinism of PARLOOPER nests, flat
+// precompiled schedules vs the recursive traversal, and KernelCache stats
+// exactness under a multi-threaded hit storm.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/threading.hpp"
+#include "parlooper/threaded_loop.hpp"
+#include "test_utils.hpp"
+#include "tpp/brgemm.hpp"
+#include "tpp/kernel_cache.hpp"
+
+namespace plt {
+namespace {
+
+using parlooper::Backend;
+using parlooper::LoopNest;
+using parlooper::LoopSpecs;
+
+TEST(ThreadPool, RunsEveryMemberExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> seen{0};
+  std::vector<int> tids(4, -1);
+  struct Ctx {
+    std::atomic<int>* seen;
+    std::vector<int>* tids;
+  } ctx{&seen, &tids};
+  pool.run(
+      [](void* c, int tid, int nthreads) {
+        auto* x = static_cast<Ctx*>(c);
+        ASSERT_EQ(nthreads, 4);
+        (*x->tids)[static_cast<std::size_t>(tid)] = tid;
+        x->seen->fetch_add(1);
+      },
+      &ctx);
+  EXPECT_EQ(seen.load(), 4);
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(tids[static_cast<std::size_t>(t)], t);
+}
+
+TEST(ThreadPool, BarrierPhasesStayAlignedUnderOversubscription) {
+  // 8 threads on however few cores the machine has: the barrier must still
+  // separate phases. Each thread publishes its phase before the barrier and
+  // asserts after it that nobody is still in an older phase.
+  constexpr int kThreads = 8, kPhases = 25;
+  ThreadPool pool(kThreads);
+  struct Ctx {
+    std::atomic<int> phase[kThreads];
+    std::atomic<int> violations{0};
+    ThreadPool* pool;
+  } ctx;
+  for (auto& p : ctx.phase) p.store(-1);
+  ctx.pool = &pool;
+  pool.run(
+      [](void* c, int tid, int nthreads) {
+        auto* x = static_cast<Ctx*>(c);
+        for (int ph = 0; ph < kPhases; ++ph) {
+          x->phase[tid].store(ph, std::memory_order_release);
+          x->pool->barrier(tid);
+          for (int t = 0; t < nthreads; ++t) {
+            if (x->phase[t].load(std::memory_order_acquire) < ph) {
+              x->violations.fetch_add(1);
+            }
+          }
+          x->pool->barrier(tid);
+        }
+      },
+      &ctx);
+  EXPECT_EQ(ctx.violations.load(), 0);
+}
+
+TEST(ThreadPool, ThreadBarrierRoutesToActiveRegion) {
+  // plt::thread_barrier() must resolve to the pool's barrier inside a pool
+  // region (and be a no-op in a serial one).
+  const Runtime saved = runtime();
+  set_runtime(Runtime::kPool);
+  std::atomic<int> after{0};
+  parallel_region([&](int, int nthreads) {
+    thread_barrier();
+    after.fetch_add(1);
+    thread_barrier();
+    EXPECT_EQ(after.load(), nthreads);
+  });
+  set_runtime(Runtime::kSerial);
+  parallel_region([&](int, int) { thread_barrier(); });
+  set_runtime(saved);
+}
+
+TEST(ThreadPool, ConcurrentDispatchersFromUserThreadsDoNotDeadlock) {
+  // Two application threads invoking nests at once (a serving host): only
+  // one may own the team; the other must degrade to a serial region rather
+  // than race on the dispatch state. Every iteration must still run.
+  const Runtime saved = runtime();
+  set_runtime(Runtime::kPool);
+  constexpr int kDrivers = 4, kRepeats = 200;
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 16, 1, {}}};
+  LoopNest nest(loops, "A", Backend::kInterpreter);
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&] {
+      for (int i = 0; i < kRepeats; ++i) {
+        nest([&](const std::int64_t* ind) {
+          total.fetch_add(1 + ind[0], std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& th : drivers) th.join();
+  // 16 bodies per invocation, sum(1 + 0..15) = 136 each.
+  EXPECT_EQ(total.load(), static_cast<std::int64_t>(kDrivers) * kRepeats * 136);
+  set_runtime(saved);
+}
+
+TEST(ThreadPool, NestedRegionDegradesToSerial) {
+  const Runtime saved = runtime();
+  set_runtime(Runtime::kPool);
+  std::atomic<int> inner_teams{0};
+  parallel_region([&](int, int) {
+    parallel_region([&](int tid, int nthreads) {
+      EXPECT_EQ(tid, 0);
+      EXPECT_EQ(nthreads, 1);
+      inner_teams.fetch_add(1);
+    });
+  });
+  EXPECT_GE(inner_teams.load(), 1);
+  set_runtime(saved);
+}
+
+// --- cross-runtime determinism ----------------------------------------------
+
+struct Coverage {
+  std::mutex mu;
+  std::map<std::vector<std::int64_t>, int> visits;
+};
+
+std::map<std::vector<std::int64_t>, int> run_coverage(const char* spec,
+                                                      Runtime rt) {
+  const Runtime saved = runtime();
+  set_runtime(rt);
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 8, 1, {4, 2}},
+                                  LoopSpecs{0, 16, 2, {8, 4}},
+                                  LoopSpecs{0, 12, 3, {6}}};
+  LoopNest nest(loops, spec, Backend::kInterpreter);
+  Coverage cov;
+  nest([&](const std::int64_t* ind) {
+    std::vector<std::int64_t> v(ind, ind + 3);
+    std::lock_guard<std::mutex> lock(cov.mu);
+    ++cov.visits[v];
+  });
+  set_runtime(saved);
+  return cov.visits;
+}
+
+class RuntimeSweepP : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RuntimeSweepP, IterationCoverageIdenticalAcrossRuntimes) {
+  const auto serial = run_coverage(GetParam(), Runtime::kSerial);
+  const auto pool = run_coverage(GetParam(), Runtime::kPool);
+  const auto omp = run_coverage(GetParam(), Runtime::kOpenMP);
+  EXPECT_EQ(serial, pool) << GetParam();
+  EXPECT_EQ(serial, omp) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, RuntimeSweepP,
+    ::testing::Values("abc", "cba", "aBc", "aBC", "ABC", "bcaBCb", "aabbcc",
+                      "aBC @ schedule(dynamic,1)", "a|Bc", "bC{R:2}aB{C:2}cb",
+                      "B{R:2}C{C:2}a", "cabCBa"));
+
+TEST(RuntimeDeterminism, GemmBitwiseIdenticalAcrossRuntimes) {
+  // A blocked parallel GEMM must produce byte-identical C under every
+  // runtime: block ownership and the per-block reduction order are pure
+  // functions of the iteration space, not of the backend.
+  const std::int64_t Mb = 4, Nb = 4, Kb = 4, bm = 8, bn = 8, bk = 8;
+  const std::size_t a_sz = static_cast<std::size_t>(Mb * Kb * bm * bk);
+  const std::size_t b_sz = static_cast<std::size_t>(Nb * Kb * bn * bk);
+  const std::size_t c_sz = static_cast<std::size_t>(Mb * Nb * bm * bn);
+  const auto a = test::random_vec(a_sz, 7);
+  const auto b = test::random_vec(b_sz, 8);
+  tpp::BrgemmTPP brgemm(bm, bn, bk, bk * bm, bn * bk, 1.0f);
+
+  auto run_with = [&](Runtime rt) {
+    const Runtime saved = runtime();
+    set_runtime(rt);
+    std::vector<float> c(c_sz, 0.0f);
+    std::vector<LoopSpecs> loops = {LoopSpecs{0, Kb, 1, {}},
+                                    LoopSpecs{0, Mb, 1, {}},
+                                    LoopSpecs{0, Nb, 1, {}}};
+    LoopNest gemm(loops, "aBC", Backend::kInterpreter);
+    gemm([&](const std::int64_t* ind) {
+      const std::int64_t ik = ind[0], im = ind[1], in = ind[2];
+      brgemm(a.data() + ((im * Kb + ik) * bk * bm),
+             b.data() + ((in * Kb + ik) * bn * bk),
+             c.data() + ((in * Mb + im) * bn * bm), 1);
+    });
+    set_runtime(saved);
+    return c;
+  };
+
+  const auto c_serial = run_with(Runtime::kSerial);
+  const auto c_pool = run_with(Runtime::kPool);
+  const auto c_omp = run_with(Runtime::kOpenMP);
+  EXPECT_EQ(0, std::memcmp(c_serial.data(), c_pool.data(),
+                           c_sz * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(c_serial.data(), c_omp.data(),
+                           c_sz * sizeof(float)));
+}
+
+// --- flat precompiled schedules ---------------------------------------------
+
+class FlatScheduleP : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FlatScheduleP, MatchesRecursiveSimulationPerThread) {
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 8, 1, {4, 2}},
+                                  LoopSpecs{0, 16, 2, {8, 4}},
+                                  LoopSpecs{0, 12, 3, {6}}};
+  LoopNest nest(loops, GetParam(), Backend::kInterpreter);
+  const parlooper::LoopNestPlan& plan = nest.plan();
+  ASSERT_LE(plan.total_iterations(),
+            parlooper::LoopNestPlan::flat_schedule_max_iters());
+  for (int nthreads : {1, 2, 3, 5}) {
+    const parlooper::TeamSchedule* sched = plan.team_schedule(nthreads);
+    ASSERT_NE(sched, nullptr);
+    ASSERT_EQ(sched->nthreads, nthreads);
+    ASSERT_EQ(sched->threads.size(), static_cast<std::size_t>(nthreads));
+    for (int tid = 0; tid < nthreads; ++tid) {
+      std::vector<std::int64_t> trace;
+      parlooper::simulate_thread(plan, tid, nthreads,
+                                 [&](const std::int64_t* ind) {
+                                   trace.insert(trace.end(), ind, ind + 3);
+                                 });
+      const parlooper::ThreadProgram& prog =
+          sched->threads[static_cast<std::size_t>(tid)];
+      EXPECT_EQ(prog.inds, trace)
+          << GetParam() << " tid " << tid << "/" << nthreads;
+      std::int64_t seg_sum = 0;
+      for (std::int64_t s : prog.seg_len) seg_sum += s;
+      EXPECT_EQ(seg_sum * 3, static_cast<std::int64_t>(prog.inds.size()));
+    }
+    // Barrier counts must agree across the team or execution would deadlock.
+    for (int tid = 1; tid < nthreads; ++tid) {
+      EXPECT_EQ(sched->threads[static_cast<std::size_t>(tid)].seg_len.size(),
+                sched->threads[0].seg_len.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, FlatScheduleP,
+    ::testing::Values("abc", "aBc", "ABC", "bcaBCb", "aabbcc",
+                      "aBC @ schedule(dynamic,1)", "a|Bc", "a|b|C",
+                      "bC{R:2}aB{C:2}cb", "B{R:2}C{C:2}a", "cabCBa"));
+
+TEST(FlatSchedule, LookupIsMemoizedPerTeamSize) {
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 16, 1, {}}};
+  LoopNest nest(loops, "A", Backend::kInterpreter);
+  const auto* s1 = nest.plan().team_schedule(3);
+  const auto* s2 = nest.plan().team_schedule(3);
+  const auto* s4 = nest.plan().team_schedule(4);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, s4);
+}
+
+TEST(FlatSchedule, HugeNestFallsBackToRecursive) {
+  const std::int64_t big =
+      parlooper::LoopNestPlan::flat_schedule_max_iters() + 1;
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, big, 1, {}}};
+  LoopNest nest(loops, "A", Backend::kInterpreter);
+  EXPECT_EQ(nest.plan().team_schedule(2), nullptr);
+  // Still executes correctly through the recursive path.
+  std::atomic<std::int64_t> count{0};
+  nest([&](const std::int64_t*) { count.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(count.load(), big);
+}
+
+// --- kernel cache ------------------------------------------------------------
+
+TEST(KernelCache, MissesCountCodegenEventsExactly) {
+  tpp::KernelCache<int> cache;
+  std::atomic<int> factory_runs{0};
+  const auto factory = [&] {
+    factory_runs.fetch_add(1);
+    return std::make_shared<int>(42);
+  };
+  EXPECT_EQ(*cache.get_or_create("k", factory), 42);
+  auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(*cache.get_or_create("k", factory), 42);
+  s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(factory_runs.load(), 1);
+  EXPECT_EQ(static_cast<std::uint64_t>(factory_runs.load()), s.misses);
+}
+
+TEST(KernelCache, HitStormStatsAreExact) {
+  // Pre-warmed keys hammered from many threads: every lookup must be
+  // counted as exactly one hit — no lost updates, no phantom misses.
+  tpp::KernelCache<int> cache;
+  constexpr int kKeys = 4, kThreads = 8, kIters = 5000;
+  for (int k = 0; k < kKeys; ++k) {
+    cache.get_or_create("key" + std::to_string(k),
+                        [k] { return std::make_shared<int>(k); });
+  }
+  const auto warm = cache.stats();
+  ASSERT_EQ(warm.misses, static_cast<std::uint64_t>(kKeys));
+
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong_values{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int k = (t + i) % kKeys;
+        auto v = cache.get_or_create(
+            "key" + std::to_string(k),
+            [] { return std::make_shared<int>(-1); });
+        if (*v != k) wrong_values.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(wrong_values.load(), 0);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(s.hits, warm.hits + static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+}
+
+TEST(KernelCache, ColdStormAccountsEveryFactoryRun) {
+  // All threads race on one cold key: hits + misses must equal the number
+  // of lookups, misses must equal actual factory invocations (a loser of
+  // the insert race did run codegen), and exactly one kernel must survive.
+  tpp::KernelCache<int> cache;
+  constexpr int kThreads = 8;
+  std::atomic<int> factory_runs{0};
+  std::atomic<int> lookups{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto v = cache.get_or_create("cold", [&] {
+        factory_runs.fetch_add(1);
+        return std::make_shared<int>(7);
+      });
+      lookups.fetch_add(1);
+      EXPECT_EQ(*v, 7);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, static_cast<std::uint64_t>(factory_runs.load()));
+  EXPECT_EQ(s.hits + s.misses, static_cast<std::uint64_t>(lookups.load()));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GE(factory_runs.load(), 1);
+}
+
+TEST(KernelCache, ClearInvalidatesThreadLocalMemo) {
+  tpp::KernelCache<int> cache;
+  auto v1 = cache.get_or_create("k", [] { return std::make_shared<int>(1); });
+  // Second lookup is served by the per-thread memo.
+  auto v2 = cache.get_or_create("k", [] { return std::make_shared<int>(2); });
+  EXPECT_EQ(v1.get(), v2.get());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  auto v3 = cache.get_or_create("k", [] { return std::make_shared<int>(3); });
+  EXPECT_EQ(*v3, 3);  // memo must not resurrect the cleared kernel
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 0u);
+}
+
+}  // namespace
+}  // namespace plt
