@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 3 — MLP with bias + ReLU (N = minibatch)");
   std::printf("%-24s %12s %14s\n", "layers x (MxK)", "GFLOPS",
               "%% of GEMM rate");
+  bench::JsonReporter json("fig3_mlp");
+  json.add("gemm_reference", peak, 0.0);
 
   for (const Case& c : cases) {
     kernels::MlpConfig cfg;
@@ -70,6 +72,10 @@ int main(int argc, char** argv) {
     std::printf("%2ld x (%4ldx%-4ld)          %12.2f %13.1f%%\n",
                 static_cast<long>(c.layers), static_cast<long>(c.width),
                 static_cast<long>(c.width), gf, 100.0 * gf / peak);
+    const std::string row = "mlp_" + std::to_string(c.layers) + "x" +
+                            std::to_string(c.width);
+    json.add(row, gf, 0.0);
+    json.add_value(row + "_efficiency", 100.0 * gf / peak, "percent_of_gemm");
   }
   std::printf("\nexpected shape: efficiency increases with weight size "
               "(better B-tensor reuse), as in the paper's Fig. 3.\n");

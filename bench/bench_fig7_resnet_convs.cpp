@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 7 — ResNet-50 convolution shapes (fp32, MB=1)");
   std::printf("%-3s %-26s %12s %12s %9s\n", "ID", "CxK HxW RxS/str",
               "PARLOOPER", "im2col-sub", "speedup");
+  bench::JsonReporter json("fig7_resnet_convs");
 
   std::vector<double> speedups;
   for (const dl::Fig7ConvShape& s : dl::fig7_conv_shapes()) {
@@ -58,6 +59,10 @@ int main(int argc, char** argv) {
     const double base_gf = gflops(shape.flops(), base_s);
 
     speedups.push_back(ours_gf / base_gf);
+    const std::string row = "conv" + std::to_string(s.layer_id);
+    json.add(row + "_parlooper", ours_gf, 0.0);
+    json.add(row + "_im2col", base_gf, 0.0);
+    json.add_value(row + "_speedup", ours_gf / base_gf, "ratio");
     std::printf("%-3d %4ldx%-4ld %3ldx%-3ld %ldx%ld/%ld  %12.2f %12.2f %8.2fx\n",
                 s.layer_id, static_cast<long>(s.C), static_cast<long>(s.K),
                 static_cast<long>(H), static_cast<long>(W),
@@ -67,5 +72,6 @@ int main(int argc, char** argv) {
   }
   std::printf("geomean speedup: %.2fx (paper: 1.12x-1.75x per platform)\n",
               bench::geomean(speedups));
+  json.add_value("geomean_speedup", bench::geomean(speedups), "ratio");
   return 0;
 }

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
 
   bench::print_header("Fig. 9 — BERT fine-tuning throughput (sequences/sec)");
   std::printf("%-12s %-6s %14s\n", "stack", "dtype", "seq/sec");
+  bench::JsonReporter json("fig9_bert_training");
 
   struct Tier {
     const char* name;
@@ -59,8 +60,12 @@ int main(int argc, char** argv) {
       dl::BertConfig cfg = base;
       cfg.loop_spec = tier.spec;
       cfg.dtype = dt;
+      const double sps = seq_per_sec(cfg, steps);
       std::printf("%-12s %-6s %14.2f\n", tier.name,
-                  dt == DType::F32 ? "fp32" : "bf16", seq_per_sec(cfg, steps));
+                  dt == DType::F32 ? "fp32" : "bf16", sps);
+      json.add_value(std::string(tier.name) + "_" +
+                         (dt == DType::F32 ? "fp32" : "bf16"),
+                     sps, "seq_per_sec");
     }
   }
   std::printf("\nexpected shape: this-work >= tpp-fixed >= hf-sub (paper: "

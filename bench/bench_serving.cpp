@@ -1,0 +1,298 @@
+// Serving-layer benchmark: micro-batching scheduler on the persistent pool
+// vs naive per-request dispatch under the per-call OpenMP runtime (the
+// paper's POC behaviour lifted to request granularity). Mixed BERT + MLP +
+// LLM traffic from several producer threads.
+//
+// Emits BENCH_serving.json with:
+//   serving_naive_throughput / serving_scheduler_throughput  (req/s + ns/req)
+//   serving_speedup                                          (ratio)
+//   serve_<model>_* per-model latency/throughput/queue-depth stats
+// bench/check_overhead.py --serving gates the speedup in CI (>= 1.5x), and
+// this binary exits non-zero if batched results are not bitwise-identical
+// to sequential per-request execution.
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "serving/model_registry.hpp"
+#include "serving/scheduler.hpp"
+#include "serving/session.hpp"
+
+using namespace plt;
+
+namespace {
+
+struct Workload {
+  std::vector<std::shared_ptr<serving::Session>> sessions;
+  // Round-robin request tape: (session index, input seed).
+  std::vector<int> tape;
+};
+
+// Latency-class serving shapes: small per-request tensors and 1-token LLM
+// decode steps, where per-nest dispatch overhead is a first-order cost (the
+// regime the paper's near-zero-overhead claim targets; large-batch
+// throughput shapes amortize dispatch on their own and need no scheduler).
+Workload build_workload(bool full, int lanes, int total_requests) {
+  Workload w;
+  serving::MlpServeConfig mlp;
+  mlp.features = full ? 32 : 16;
+  mlp.layers = 8;
+  mlp.tokens = 8;
+  mlp.bm = mlp.bn = mlp.bk = 8;
+  w.sessions.push_back(serving::make_mlp_session("mlp", mlp, lanes, 101));
+
+  dl::BertConfig bert;
+  bert.hidden = full ? 32 : 16;
+  bert.heads = 2;
+  bert.intermediate = full ? 64 : 32;
+  bert.layers = 1;
+  bert.seq_len = 8;
+  bert.bm = bert.bn = bert.bk = 8;
+  w.sessions.push_back(serving::make_bert_session("bert", bert, lanes, 102));
+
+  dl::LlmConfig llm;
+  llm.hidden = full ? 32 : 16;
+  llm.heads = 2;
+  llm.layers = 2;
+  llm.ffn = full ? 64 : 32;
+  llm.vocab = 128;
+  llm.max_seq = 32;
+  llm.bm = llm.bn = llm.bk = 8;
+  w.sessions.push_back(serving::make_llm_session(
+      "llm", llm, /*prompt=*/4, /*gen=*/16, lanes, 103));
+
+  // 2:1:1 llm:bert:mlp — generation traffic dominates a serving mix, and
+  // its single-token nests are the dispatch-overhead-bound case the
+  // scheduler exists for.
+  const int pattern[4] = {2, 1, 2, 0};
+  for (int i = 0; i < total_requests; ++i) {
+    w.tape.push_back(pattern[i % 4]);
+  }
+  return w;
+}
+
+struct RequestBuffers {
+  std::vector<std::vector<float>> ins;
+  std::vector<std::vector<float>> outs;
+};
+
+RequestBuffers make_buffers(const Workload& w) {
+  RequestBuffers b;
+  for (std::size_t i = 0; i < w.tape.size(); ++i) {
+    const auto& s = w.sessions[static_cast<std::size_t>(w.tape[i])];
+    std::vector<float> in(static_cast<std::size_t>(s->input_elems()));
+    Xoshiro256 rng(1000 + static_cast<std::uint64_t>(i));
+    fill_uniform(in.data(), in.size(), rng, -1.0f, 1.0f);
+    b.ins.push_back(std::move(in));
+    b.outs.emplace_back(static_cast<std::size_t>(s->output_elems()), 0.0f);
+  }
+  return b;
+}
+
+// Sequential reference: one request at a time from one thread (used for the
+// bitwise determinism check).
+double run_sequential(const Workload& w, RequestBuffers& b, Runtime rt) {
+  const Runtime saved = runtime();
+  set_runtime(rt);
+  WallTimer t;
+  for (std::size_t i = 0; i < w.tape.size(); ++i) {
+    const auto& s = w.sessions[static_cast<std::size_t>(w.tape[i])];
+    s->run(0, b.ins[i].data(), b.outs[i].data());
+  }
+  const double secs = t.seconds();
+  set_runtime(saved);
+  return secs;
+}
+
+// Naive serving host: each of the `producers` client threads dispatches its
+// requests inline the moment they arrive — per-request, per-nest region
+// spawn under the given runtime, no admission control, no batching. Each
+// thread owns session lane p exclusively (a real naive host would need
+// exactly that replica set for thread safety), so the thread count is
+// capped at the smallest session's lane count.
+double run_naive(const Workload& w, RequestBuffers& b, Runtime rt,
+                 int producers) {
+  for (const auto& s : w.sessions) {
+    producers = std::min(producers, s->lanes());
+  }
+  const Runtime saved = runtime();
+  set_runtime(rt);
+  const std::size_t n = w.tape.size();
+  WallTimer t;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = static_cast<std::size_t>(p); i < n;
+           i += static_cast<std::size_t>(producers)) {
+        const auto& s = w.sessions[static_cast<std::size_t>(w.tape[i])];
+        s->run(p, b.ins[i].data(), b.outs[i].data());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double secs = t.seconds();
+  set_runtime(saved);
+  return secs;
+}
+
+// Scheduled serving: `producers` threads submit the tape concurrently; the
+// scheduler micro-batches and executes on the persistent pool.
+double run_scheduled(const Workload& w, RequestBuffers& b,
+                     serving::RequestScheduler& sched, int producers) {
+  const Runtime saved = runtime();
+  set_runtime(Runtime::kPool);
+  const std::size_t n = w.tape.size();
+  WallTimer t;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<serving::RequestHandle>> handles(
+      static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = static_cast<std::size_t>(p); i < n;
+           i += static_cast<std::size_t>(producers)) {
+        const auto& s = w.sessions[static_cast<std::size_t>(w.tape[i])];
+        handles[static_cast<std::size_t>(p)].push_back(
+            sched.submit(s, b.ins[i].data(), b.outs[i].data()));
+      }
+      for (auto& h : handles[static_cast<std::size_t>(p)]) h.wait();
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double secs = t.seconds();
+  set_runtime(saved);
+  return secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const int requests = full ? 240 : (smoke ? 96 : 144);
+  const int producers = 4;
+
+  serving::SchedulerConfig cfg = serving::SchedulerConfig::from_env();
+  const int lanes = cfg.max_batch;
+
+  bench::print_header("Serving — micro-batching scheduler vs naive dispatch");
+  std::printf("mixed traffic: %d requests over 3 models, %d producers, "
+              "max_batch=%d, deadline=%ldus\n",
+              requests, producers, cfg.max_batch,
+              static_cast<long>(cfg.batch_usecs));
+
+  Workload w = build_workload(full, lanes, requests);
+  bench::JsonReporter json("serving");
+  const int iters = 5;  // best-of, as for the kernel benches
+
+  // Sequential reference on the pool runtime (for the determinism check and
+  // as the machinery-free compute floor).
+  RequestBuffers ref = make_buffers(w);
+  run_sequential(w, ref, Runtime::kPool);  // warmup
+  double seq_s = 1e300;
+  for (int it = 0; it < iters; ++it) {
+    seq_s = std::min(seq_s, run_sequential(w, ref, Runtime::kPool));
+  }
+  std::printf("%-28s %10.1f req/s  (%8.1f us/req)\n",
+              "sequential floor (pool)", requests / seq_s,
+              1e6 * seq_s / requests);
+  json.add("serving_sequential_floor", 0.0, 1e9 * seq_s / requests, "pool");
+
+  // Naive: concurrent per-request dispatch, per-nest OpenMP regions (serial
+  // fallback when OpenMP is not built — reported as such).
+#if defined(PLT_HAVE_OPENMP)
+  const Runtime naive_rt = Runtime::kOpenMP;
+  const char* naive_label = "omp";
+#else
+  const Runtime naive_rt = Runtime::kSerial;
+  const char* naive_label = "serial";
+#endif
+  RequestBuffers naive = make_buffers(w);
+  run_naive(w, naive, naive_rt, producers);  // warmup
+  double naive_s = 1e300;
+  for (int it = 0; it < iters; ++it) {
+    naive_s = std::min(naive_s, run_naive(w, naive, naive_rt, producers));
+  }
+  const double naive_rps = requests / naive_s;
+  std::printf("%-28s %10.1f req/s  (%8.1f us/req)\n",
+              (std::string("naive per-request (") + naive_label + ")").c_str(),
+              naive_rps, 1e6 * naive_s / requests);
+  json.add(std::string("serving_naive_throughput_") + naive_label, 0.0,
+           1e9 * naive_s / requests, naive_label);
+  json.add_value("serving_naive_req_per_sec", naive_rps, "req_per_sec",
+                 naive_label);
+
+  // Scheduler: micro-batched onto the persistent pool.
+  serving::RequestScheduler sched(cfg);
+  RequestBuffers batched = make_buffers(w);
+  run_scheduled(w, batched, sched, producers);  // warmup
+  double sched_s = 1e300;
+  for (int it = 0; it < iters; ++it) {
+    sched_s = std::min(sched_s, run_scheduled(w, batched, sched, producers));
+  }
+  sched.shutdown();
+  const double sched_rps = requests / sched_s;
+  std::printf("%-28s %10.1f req/s  (%8.1f us/req)\n",
+              "scheduler (pool, batched)", sched_rps,
+              1e6 * sched_s / requests);
+  json.add("serving_scheduler_throughput", 0.0, 1e9 * sched_s / requests,
+           "pool");
+  json.add_value("serving_scheduler_req_per_sec", sched_rps, "req_per_sec",
+                 "pool");
+
+  const double speedup = naive_s / sched_s;
+  std::printf("scheduler vs naive speedup: %.2fx\n", speedup);
+  json.add_value("serving_speedup", speedup, "ratio");
+
+  // Per-model serving stats.
+  std::vector<int> tape_count(w.sessions.size(), 0);
+  for (const int m : w.tape) ++tape_count[static_cast<std::size_t>(m)];
+  const auto tape_share = [&](const std::string& model) {
+    for (std::size_t m = 0; m < w.sessions.size(); ++m) {
+      if (w.sessions[m]->name() == model) {
+        return tape_count[m];
+      }
+    }
+    return 0;
+  };
+  std::printf("\n%-8s %9s %8s %11s %11s %11s %7s\n", "model", "requests",
+              "batches", "mean batch", "mean lat us", "max lat us", "depth");
+  for (const auto& st : sched.stats()) {
+    std::printf("%-8s %9llu %8llu %11.2f %11.1f %11.1f %7zu\n",
+                st.model.c_str(),
+                static_cast<unsigned long long>(st.requests),
+                static_cast<unsigned long long>(st.batches), st.mean_batch(),
+                st.mean_latency_us(), st.max_latency_us,
+                st.pending_highwater);
+    json.add_value("serve_" + st.model + "_req_per_sec",
+                   tape_share(st.model) / sched_s, "req_per_sec");
+    json.add_value("serve_" + st.model + "_mean_latency_us",
+                   st.mean_latency_us(), "us");
+    json.add_value("serve_" + st.model + "_max_latency_us", st.max_latency_us,
+                   "us");
+    json.add_value("serve_" + st.model + "_mean_batch", st.mean_batch(),
+                   "requests");
+    json.add_value("serve_" + st.model + "_pending_highwater",
+                   static_cast<double>(st.pending_highwater), "requests");
+  }
+  json.add_value("serving_queue_depth_highwater",
+                 static_cast<double>(sched.queue_depth_highwater()),
+                 "requests");
+
+  // Determinism gate: batched == sequential, byte for byte, per request.
+  int bad = 0;
+  for (std::size_t i = 0; i < w.tape.size(); ++i) {
+    if (std::memcmp(ref.outs[i].data(), batched.outs[i].data(),
+                    ref.outs[i].size() * sizeof(float)) != 0) {
+      ++bad;
+    }
+  }
+  if (bad != 0) {
+    std::printf("\nFAIL: %d/%d batched results differ from sequential "
+                "execution\n", bad, requests);
+    return 1;
+  }
+  std::printf("\nbatched results bitwise-identical to sequential execution "
+              "(%d requests) OK\n", requests);
+  return 0;
+}

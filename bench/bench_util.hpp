@@ -13,6 +13,7 @@
 
 #include "common/aligned_buffer.hpp"
 #include "common/cpu_features.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/threading.hpp"
 #include "common/timer.hpp"
@@ -53,12 +54,26 @@ class JsonReporter {
     records_.push_back(std::move(r));
   }
 
+  // Generic metric row for quantities that are neither GFLOPS nor
+  // ns/invocation (requests/sec, sequences/sec, queue depth, ...); the unit
+  // string names what `value` measures.
+  void add_value(const std::string& name, double value,
+                 const std::string& unit,
+                 const std::string& runtime_label = "") {
+    Record r;
+    r.name = name;
+    r.value = value;
+    r.unit = unit;
+    r.runtime = runtime_label.empty() ? runtime_name(runtime()) : runtime_label;
+    records_.push_back(std::move(r));
+  }
+
   ~JsonReporter() { write(); }
 
   void write() const {
-    const char* dir = std::getenv("PLT_BENCH_JSON_DIR");
-    const std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
-                             "BENCH_" + bench_name_ + ".json";
+    const std::string dir = common::env_str("PLT_BENCH_JSON_DIR", "");
+    const std::string path =
+        (dir.empty() ? "" : dir + "/") + "BENCH_" + bench_name_ + ".json";
     std::ofstream os(path);
     if (!os) return;
     os << "{\n  \"bench\": \"" << bench_name_ << "\",\n"
@@ -72,6 +87,9 @@ class JsonReporter {
       if (r.gflops > 0) os << r.gflops; else os << "null";
       os << ", \"ns_per_invocation\": ";
       if (r.ns_per_invocation > 0) os << r.ns_per_invocation; else os << "null";
+      if (!r.unit.empty()) {
+        os << ", \"value\": " << r.value << ", \"unit\": \"" << r.unit << "\"";
+      }
       os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
@@ -84,6 +102,8 @@ class JsonReporter {
     std::string name;
     double gflops = 0.0;
     double ns_per_invocation = 0.0;
+    double value = 0.0;
+    std::string unit;  // non-empty => emit the generic value field
     std::string runtime;
   };
   std::string bench_name_;

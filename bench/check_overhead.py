@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
-"""CI gate: the persistent-pool runtime must keep its small-nest dispatch
-advantage over the per-call OpenMP region path.
+"""CI perf gates over the BENCH_*.json reporter output.
 
-Usage: check_overhead.py BENCH_micro_tpp.json [min_ratio]
+Default mode — pool dispatch overhead:
+    check_overhead.py BENCH_micro_tpp.json [min_ratio]
+  The persistent-pool runtime must keep its small-nest dispatch advantage
+  over the per-call OpenMP region path (>= min_ratio, default 1.3).
+
+Serving mode — micro-batching scheduler throughput:
+    check_overhead.py --serving BENCH_serving.json [min_ratio]
+  The scheduler (batched, persistent pool) must beat naive per-request
+  dispatch by >= min_ratio (default 1.5) on the mixed-model workload.
 """
 import json
 import sys
 
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_micro_tpp.json"
-    min_ratio = float(sys.argv[2]) if len(sys.argv) > 2 else 1.3
+def check_dispatch(path: str, min_ratio: float) -> int:
     with open(path) as f:
         data = json.load(f)
     ns = {r["name"]: r["ns_per_invocation"] for r in data["records"]}
@@ -32,6 +37,39 @@ def main() -> int:
         print("FAIL: pool runtime lost its dispatch-overhead advantage")
         return 1
     return 0
+
+
+def check_serving(path: str, min_ratio: float) -> int:
+    with open(path) as f:
+        data = json.load(f)
+    values = {r["name"]: r.get("value") for r in data["records"]}
+    speedup = values.get("serving_speedup")
+    naive = values.get("serving_naive_req_per_sec")
+    sched = values.get("serving_scheduler_req_per_sec")
+    if speedup is None or naive is None or sched is None:
+        print(f"missing serving records in {path}: {sorted(values)}")
+        return 1
+    print(f"naive={naive:.1f} req/s scheduler={sched:.1f} req/s "
+          f"speedup={speedup:.2f}x (required >= {min_ratio}x)")
+    if speedup < min_ratio:
+        print("FAIL: scheduler lost its advantage over naive per-request "
+              "dispatch")
+        return 1
+    return 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    serving = "--serving" in args
+    if serving:
+        args.remove("--serving")
+    if serving:
+        path = args[0] if args else "BENCH_serving.json"
+        min_ratio = float(args[1]) if len(args) > 1 else 1.5
+        return check_serving(path, min_ratio)
+    path = args[0] if args else "BENCH_micro_tpp.json"
+    min_ratio = float(args[1]) if len(args) > 1 else 1.3
+    return check_dispatch(path, min_ratio)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,111 @@
+// Serving-layer demo: registers BERT + MLP + LLM sessions in the model
+// registry, starts the micro-batching request scheduler, and drives mixed
+// traffic from several client threads — the production-shaped entry point
+// the ROADMAP's "batch/server layer" item asks for.
+//
+//   ./example_serve_demo [seconds]
+//
+// Knobs: PLT_SERVE_MAX_BATCH, PLT_SERVE_BATCH_USECS, PLT_SERVE_QUEUE_CAP,
+// PLT_NUM_THREADS, PLT_RUNTIME.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "serving/model_registry.hpp"
+#include "serving/scheduler.hpp"
+#include "serving/session.hpp"
+
+using namespace plt;
+
+int main(int argc, char** argv) {
+  const double run_seconds = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const serving::SchedulerConfig cfg = serving::SchedulerConfig::from_env();
+  const int lanes = cfg.max_batch;
+
+  serving::ModelRegistry& registry = serving::ModelRegistry::instance();
+  {
+    serving::MlpServeConfig mlp;
+    mlp.features = 128;
+    mlp.layers = 2;
+    mlp.tokens = 32;
+    registry.add(serving::make_mlp_session("mlp", mlp, lanes, 1));
+
+    dl::BertConfig bert;
+    bert.hidden = 64;
+    bert.heads = 4;
+    bert.intermediate = 256;
+    bert.layers = 1;
+    bert.seq_len = 32;
+    bert.bm = bert.bn = bert.bk = 16;
+    registry.add(serving::make_bert_session("bert", bert, lanes, 2));
+
+    dl::LlmConfig llm;
+    llm.hidden = 64;
+    llm.heads = 4;
+    llm.layers = 2;
+    llm.ffn = 256;
+    llm.vocab = 256;
+    llm.max_seq = 64;
+    llm.bm = llm.bn = llm.bk = 16;
+    registry.add(serving::make_llm_session("llm", llm, /*prompt=*/16,
+                                           /*gen=*/4, lanes, 3));
+  }
+  std::printf("registered %zu models; max_batch=%d deadline=%ldus\n",
+              registry.size(), cfg.max_batch,
+              static_cast<long>(cfg.batch_usecs));
+
+  serving::RequestScheduler scheduler(cfg);
+  const auto sessions = registry.sessions();
+
+  constexpr int kClients = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> completed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(c) + 77);
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto& s = sessions[(static_cast<std::size_t>(c) + i++) %
+                                 sessions.size()];
+        std::vector<float> in(static_cast<std::size_t>(s->input_elems()));
+        std::vector<float> out(static_cast<std::size_t>(s->output_elems()));
+        fill_uniform(in.data(), in.size(), rng, -1.0f, 1.0f);
+        auto h = scheduler.submit(s, in.data(), out.data());
+        if (!h.ok()) break;
+        h.wait();
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  WallTimer t;
+  while (t.seconds() < run_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : clients) th.join();
+  const double secs = t.seconds();
+  scheduler.shutdown();
+
+  std::printf("\n%.1fs of mixed traffic from %d clients: %llu requests "
+              "(%.1f req/s aggregate)\n\n", secs, kClients,
+              static_cast<unsigned long long>(completed.load()),
+              completed.load() / secs);
+  std::printf("%-8s %9s %8s %11s %11s %11s %7s\n", "model", "requests",
+              "batches", "mean batch", "mean lat us", "max lat us", "depth");
+  for (const auto& st : scheduler.stats()) {
+    std::printf("%-8s %9llu %8llu %11.2f %11.1f %11.1f %7zu\n",
+                st.model.c_str(),
+                static_cast<unsigned long long>(st.requests),
+                static_cast<unsigned long long>(st.batches), st.mean_batch(),
+                st.mean_latency_us(), st.max_latency_us,
+                st.pending_highwater);
+  }
+  std::printf("admission-queue depth highwater: %zu\n",
+              scheduler.queue_depth_highwater());
+  return 0;
+}

@@ -1,8 +1,9 @@
 #include "common/cpu_features.hpp"
 
-#include <cstdlib>
 #include <cstring>
 #include <thread>
+
+#include "common/env.hpp"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <cpuid.h>
@@ -67,8 +68,9 @@ IsaLevel effective_isa() {
       best = IsaLevel::kAVX512;
     if (best == IsaLevel::kAVX512 && f.avx512_bf16) best = IsaLevel::kAVX512BF16;
 #endif
-    if (const char* env = std::getenv("PLT_ISA")) {
-      std::string s = env;
+    const std::string s = common::env_enum(
+        "PLT_ISA", "", {"scalar", "avx2", "avx512", "avx512_bf16"});
+    if (!s.empty()) {
       IsaLevel cap = best;
       if (s == "scalar") cap = IsaLevel::kScalar;
       else if (s == "avx2") cap = IsaLevel::kAVX2;

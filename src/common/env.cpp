@@ -1,0 +1,64 @@
+#include "common/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace plt::common {
+
+std::int64_t env_int(const char* name, std::int64_t def, std::int64_t lo,
+                     std::int64_t hi) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return def;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0') {
+    PLT_LOG_WARN << name << "='" << env << "' is not an integer; using "
+                 << def;
+    return def;
+  }
+  if (v < lo || v > hi) {
+    PLT_LOG_WARN << name << "=" << v << " outside [" << lo << ", " << hi
+                 << "]; using " << def;
+    return def;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+bool env_flag(const char* name, bool def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return def;
+  const auto is = [env](const char* s) { return std::strcmp(env, s) == 0; };
+  if (is("0") || is("false") || is("off")) return false;
+  if (is("1") || is("true") || is("on")) return true;
+  PLT_LOG_WARN << name << "='" << env << "' is not a boolean (0/1/true/false/"
+               << "on/off); using " << (def ? "1" : "0");
+  return def;
+}
+
+std::string env_str(const char* name, const std::string& def) {
+  const char* env = std::getenv(name);
+  return env == nullptr ? def : std::string(env);
+}
+
+std::string env_enum(const char* name, const std::string& def,
+                     std::initializer_list<const char*> allowed) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return def;
+  for (const char* a : allowed) {
+    if (std::strcmp(env, a) == 0) return env;
+  }
+  std::string options;
+  for (const char* a : allowed) {
+    if (!options.empty()) options += "|";
+    options += a;
+  }
+  PLT_LOG_WARN << name << "='" << env << "' is not one of " << options
+               << "; using '" << def << "'";
+  return def;
+}
+
+}  // namespace plt::common

@@ -1,0 +1,36 @@
+// Centralized environment-variable parsing with range validation. Every
+// PLT_* knob goes through these helpers so a malformed or out-of-range value
+// produces a warning and a documented fallback instead of a silent one
+// (the scattered std::getenv call sites used to swallow typos like
+// PLT_RUNTIME=pools or PLT_SERVE_MAX_BATCH=-3).
+//
+// The helpers read the environment on every call; call sites that need a
+// stable value for the process lifetime cache the result (function-local
+// static), which also keeps the read data-race-free under threads.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace plt::common {
+
+// Integer knob. Unset -> def. Set but non-numeric, trailing garbage, or
+// outside [lo, hi] -> warning + def.
+std::int64_t env_int(const char* name, std::int64_t def,
+                     std::int64_t lo = INT64_MIN, std::int64_t hi = INT64_MAX);
+
+// Boolean knob: 0/false/off -> false, 1/true/on -> true (case-sensitive,
+// matching the documented spellings). Unset -> def; anything else -> warning
+// + def.
+bool env_flag(const char* name, bool def);
+
+// Free-form string knob (paths, compiler commands). Unset -> def.
+std::string env_str(const char* name, const std::string& def);
+
+// String knob restricted to a closed set (runtime names, ISA names).
+// Unset -> def; a value outside `allowed` -> warning + def.
+std::string env_enum(const char* name, const std::string& def,
+                     std::initializer_list<const char*> allowed);
+
+}  // namespace plt::common

@@ -1,0 +1,107 @@
+// Bounded lock-free MPMC queue (Vyukov's array-based design): each cell
+// carries a sequence number that encodes whether it is ready for the next
+// producer or the next consumer, so both sides synchronize on a single CAS
+// over their ticket counter plus one store to the cell sequence — no mutex
+// on the hot path. This is the serving layer's admission queue: many
+// producer threads enqueue requests, the scheduler thread drains them.
+//
+// Capacity is rounded up to a power of two. try_push/try_pop never block;
+// a full queue is back-pressure the caller handles (the scheduler's submit
+// spins + yields, bounding memory instead of growing an unbounded list).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace plt::common {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    PLT_CHECK(cap >= 2, "mpmc: capacity must be at least 2");
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Racy by nature (two independent counters); good enough for stats and
+  // high-water tracking, never used for synchronization.
+  std::size_t size_approx() const {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : 0;
+  }
+
+  bool try_push(T v) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    while (true) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(v);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell still holds an unconsumed value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool try_pop(T& out) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    while (true) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          cell.value = T();  // drop the reference eagerly (shared_ptr cells)
+          cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producers
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumers
+};
+
+}  // namespace plt::common

@@ -1,7 +1,6 @@
 #include "common/thread_pool.hpp"
 
-#include <cstdlib>
-#include <cstring>
+#include "common/env.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -40,10 +39,7 @@ void pin_to_core(int tid) {
 }
 
 bool pinning_enabled() {
-  static const bool v = [] {
-    const char* env = std::getenv("PLT_PIN");
-    return env == nullptr || env[0] != '0';
-  }();
+  static const bool v = common::env_flag("PLT_PIN", true);
   return v;
 }
 
@@ -188,10 +184,10 @@ void ThreadPool::barrier(int tid) {
 }
 
 int ThreadPool::default_size() {
-  if (const char* env = std::getenv("PLT_NUM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
-  }
+  // 0 = unset: fall through to the OpenMP/hardware defaults below.
+  const int n = static_cast<int>(
+      common::env_int("PLT_NUM_THREADS", 0, 1, 1 << 14));
+  if (n >= 1) return n;
 #if defined(PLT_HAVE_OPENMP)
   return omp_get_max_threads();
 #else
@@ -210,12 +206,10 @@ ThreadPool& ThreadPool::instance() {
 namespace {
 
 Runtime runtime_from_env() {
-  const char* env = std::getenv("PLT_RUNTIME");
-  if (env != nullptr) {
-    if (std::strcmp(env, "serial") == 0) return Runtime::kSerial;
-    if (std::strcmp(env, "omp") == 0) return Runtime::kOpenMP;
-    if (std::strcmp(env, "pool") == 0) return Runtime::kPool;
-  }
+  const std::string v =
+      common::env_enum("PLT_RUNTIME", "pool", {"serial", "omp", "pool"});
+  if (v == "serial") return Runtime::kSerial;
+  if (v == "omp") return Runtime::kOpenMP;
   return Runtime::kPool;
 }
 

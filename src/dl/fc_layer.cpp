@@ -118,12 +118,64 @@ void FcLayer::forward(const float* input, float* output) const {
   forward_tokens(input, cfg_.tokens, output);
 }
 
+// The compiled forward pipeline for one token count, built once per S and
+// memoized so the serving/decode hot path touches no cache-key machinery.
+struct FcLayer::TokenPlan {
+  std::int64_t bn;
+  tpp::BrgemmTPP brgemm;
+  tpp::UnaryTPP zero;
+  tpp::BinaryTPP bias;
+  tpp::UnaryTPP act;
+  parlooper::LoopNest nest;
+
+  TokenPlan(const FcConfig& cfg, std::int64_t S, std::int64_t bn_in)
+      : bn(bn_in),
+        brgemm(tpp::BrgemmDesc{
+            cfg.bm, bn, cfg.bk,
+            /*lda=*/cfg.bm, /*ldb=*/cfg.in_features, /*ldc=*/cfg.out_features,
+            cfg.dtype, cfg.dtype, DType::F32, /*beta=*/1.0f,
+            tpp::BrgemmVariant::kStride,
+            cfg.dtype == DType::BF16 ? tpp::ALayout::kVnni2
+                                     : tpp::ALayout::kFlat,
+            /*stride_a=*/cfg.dtype == DType::BF16
+                ? tpp::vnni2_elems(cfg.bm, cfg.bk)
+                : cfg.bm * cfg.bk,
+            /*stride_b=*/cfg.bk}),
+        zero(tpp::UnaryDesc{tpp::UnaryKind::kZero, cfg.bm, bn, 0,
+                            cfg.out_features, DType::F32, DType::F32, 1.0f}),
+        bias(tpp::BinaryDesc{tpp::BinaryKind::kAdd, cfg.bm, bn, 0,
+                             cfg.out_features, cfg.out_features, DType::F32,
+                             DType::F32, DType::F32, tpp::Broadcast::kCol}),
+        act(tpp::UnaryDesc{cfg.act == FcActivation::kGelu
+                               ? tpp::UnaryKind::kGelu
+                               : tpp::UnaryKind::kRelu,
+                           cfg.bm, bn, cfg.out_features, cfg.out_features,
+                           DType::F32, DType::F32, 1.0f}),
+        nest({parlooper::LoopSpecs{0, cfg.in_features / cfg.bk, 1},
+              parlooper::LoopSpecs{0, cfg.out_features / cfg.bm, 1},
+              parlooper::LoopSpecs{0, S / bn, 1}},
+             cfg.loop_spec, cfg.backend) {}
+};
+
+FcLayer::~FcLayer() = default;
+
+FcLayer::TokenPlan& FcLayer::token_plan(std::int64_t S) const {
+  for (auto& entry : token_plans_) {
+    if (entry.first == S) return *entry.second;
+  }
+  const std::int64_t bn = S % cfg_.bn == 0 ? cfg_.bn : 1;
+  token_plans_.emplace_back(S, std::make_unique<TokenPlan>(cfg_, S, bn));
+  return *token_plans_.back().second;
+}
+
 void FcLayer::forward_tokens(const float* input, std::int64_t S,
                              float* output) const {
   const std::int64_t in_f = cfg_.in_features, out_f = cfg_.out_features;
-  const std::int64_t Kb = in_f / cfg_.bk, Mb = out_f / cfg_.bm;
-  const std::int64_t bn = S % cfg_.bn == 0 ? cfg_.bn : 1;
+  const std::int64_t Kb = in_f / cfg_.bk;
   PLT_CHECK(S <= cfg_.tokens, "fc: token count exceeds configured maximum");
+
+  TokenPlan& tp = token_plan(S);
+  const std::int64_t bn = tp.bn;
 
   // The B operand: a row-major [S][in] activation is a column-major
   // in x S matrix with ld = in.
@@ -135,29 +187,10 @@ void FcLayer::forward_tokens(const float* input, std::int64_t S,
     b_panel = staged;
   }
 
-  tpp::BrgemmTPP brgemm(tpp::BrgemmDesc{
-      cfg_.bm, bn, cfg_.bk,
-      /*lda=*/cfg_.bm, /*ldb=*/in_f, /*ldc=*/out_f, cfg_.dtype, cfg_.dtype,
-      DType::F32, /*beta=*/1.0f, tpp::BrgemmVariant::kStride,
-      cfg_.dtype == DType::BF16 ? tpp::ALayout::kVnni2 : tpp::ALayout::kFlat,
-      /*stride_a=*/cfg_.dtype == DType::BF16 ? tpp::vnni2_elems(cfg_.bm, cfg_.bk)
-                                             : cfg_.bm * cfg_.bk,
-      /*stride_b=*/cfg_.bk});
-  tpp::UnaryTPP zero(tpp::UnaryDesc{tpp::UnaryKind::kZero, cfg_.bm, bn, 0,
-                                    out_f, DType::F32, DType::F32, 1.0f});
-  tpp::BinaryTPP bias_tpp(tpp::BinaryDesc{
-      tpp::BinaryKind::kAdd, cfg_.bm, bn, 0, out_f, out_f, DType::F32,
-      DType::F32, DType::F32, tpp::Broadcast::kCol});
-  tpp::UnaryTPP act_tpp(tpp::UnaryDesc{
-      cfg_.act == FcActivation::kGelu ? tpp::UnaryKind::kGelu
-                                      : tpp::UnaryKind::kRelu,
-      cfg_.bm, bn, out_f, out_f, DType::F32, DType::F32, 1.0f});
-
-  std::vector<parlooper::LoopSpecs> loops = {
-      parlooper::LoopSpecs{0, Kb, 1},
-      parlooper::LoopSpecs{0, Mb, 1},
-      parlooper::LoopSpecs{0, S / bn, 1}};
-  parlooper::LoopNest nest(loops, cfg_.loop_spec, cfg_.backend);
+  tpp::BrgemmTPP& brgemm = tp.brgemm;
+  tpp::UnaryTPP& zero = tp.zero;
+  tpp::BinaryTPP& bias_tpp = tp.bias;
+  tpp::UnaryTPP& act_tpp = tp.act;
 
   const std::size_t esz = dtype_size(cfg_.dtype);
   const char* bp = static_cast<const char*>(b_panel);
@@ -167,7 +200,7 @@ void FcLayer::forward_tokens(const float* input, std::int64_t S,
   const bool has_act = cfg_.act != FcActivation::kNone;
   float* pre = preact_.data();
 
-  nest([&](const std::int64_t* ind) {
+  tp.nest([&](const std::int64_t* ind) {
     const std::int64_t ik = ind[0], im = ind[1], is = ind[2];
     // C tile (bm x bn) inside the column-major out x S output.
     float* c_tile = output + im * cfg_.bm + is * bn * out_f;

@@ -16,6 +16,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "dl/tensor.hpp"
@@ -42,6 +44,7 @@ struct FcConfig {
 class FcLayer {
  public:
   explicit FcLayer(FcConfig cfg, Xoshiro256& rng);
+  ~FcLayer();
 
   // input:  S x in row-major (fp32). For bf16 the input is converted into an
   //         internal bf16 staging panel (activations flow in bf16).
@@ -76,8 +79,20 @@ class FcLayer {
   void repack();
 
  private:
+  // Pre-planned forward pipeline for one token count: the BRGEMM/bias/act
+  // TPP handles (kernel-cache entries resolved once) and the compiled
+  // LoopNest plan. Without this, every forward_tokens call re-derives five
+  // cache keys through ostringstream — a fixed cost that dominates
+  // small-token serving requests (the LLM decode path calls with S=1).
+  // Not thread-safe on one instance, like the rest of the layer's mutable
+  // scratch; concurrent serving uses per-lane replicas.
+  struct TokenPlan;
+  TokenPlan& token_plan(std::int64_t S) const;
+
   FcConfig cfg_;
   Tensor weight_, bias_, dweight_, dbias_;
+  mutable std::vector<std::pair<std::int64_t, std::unique_ptr<TokenPlan>>>
+      token_plans_;
   mutable Tensor preact_;                // saved pre-activation (S x out)
   AlignedBuffer<std::uint8_t> w_blocked_;      // forward A operand
   AlignedBuffer<std::uint8_t> wt_blocked_;     // dgrad A operand (W^T), fp32

@@ -67,6 +67,14 @@ DecoderLayer::DecoderLayer(const LlmConfig& cfg, Xoshiro256& rng)
   ln1_out_.reshape({cfg_.max_seq, cfg_.hidden});
   ffn_mid_.reshape({cfg_.max_seq, cfg_.ffn});
   ffn_out_.reshape({cfg_.max_seq, cfg_.hidden});
+  dec_normed_.reshape({cfg_.hidden});
+  dec_qv_.reshape({cfg_.hidden});
+  dec_ctx_.reshape({cfg_.hidden});
+  dec_proj_.reshape({cfg_.hidden});
+  dec_r1_.reshape({cfg_.hidden});
+  dec_mid_.reshape({cfg_.ffn});
+  dec_down_.reshape({cfg_.hidden});
+  dec_scores_.resize(static_cast<std::size_t>(cfg_.max_seq));
 }
 
 void DecoderLayer::attention_prefill(const float* q, std::int64_t seq,
@@ -107,7 +115,7 @@ void DecoderLayer::attention_decode(const float* q, std::int64_t pos,
   const std::int64_t H = cfg_.hidden, dh = cfg_.head_dim();
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
   const std::int64_t len = pos + 1;
-  std::vector<float> scores(static_cast<std::size_t>(len));
+  std::vector<float>& scores = dec_scores_;
   for (std::int64_t h = 0; h < cfg_.heads; ++h) {
     const float* qh = q + h * dh;
     float mx = -1e30f;
@@ -165,29 +173,27 @@ void DecoderLayer::decode_one(const float* x, std::int64_t pos, float* y) {
   PLT_CHECK(pos < cfg_.max_seq, "llm: position exceeds max_seq");
   tpp::LayerNormFwd ln{1, H, 1e-5f};
   float mean, var;
-  std::vector<float> normed(static_cast<std::size_t>(H));
-  ln(x, ln1_.gamma().data(), ln1_.beta().data(), &mean, &var, normed.data());
+  float* normed = dec_normed_.data();
+  ln(x, ln1_.gamma().data(), ln1_.beta().data(), &mean, &var, normed);
 
-  std::vector<float> qv(static_cast<std::size_t>(H));
-  q_.forward_tokens(normed.data(), 1, qv.data());
-  k_.forward_tokens(normed.data(), 1, k_cache_.data() + pos * H);
-  v_.forward_tokens(normed.data(), 1, v_cache_.data() + pos * H);
+  float* qv = dec_qv_.data();
+  q_.forward_tokens(normed, 1, qv);
+  k_.forward_tokens(normed, 1, k_cache_.data() + pos * H);
+  v_.forward_tokens(normed, 1, v_cache_.data() + pos * H);
 
-  std::vector<float> ctx(static_cast<std::size_t>(H));
-  attention_decode(qv.data(), pos, ctx.data());
-  std::vector<float> proj(static_cast<std::size_t>(H));
-  o_.forward_tokens(ctx.data(), 1, proj.data());
-  std::vector<float> r1(static_cast<std::size_t>(H));
-  for (std::int64_t i = 0; i < H; ++i) r1[static_cast<std::size_t>(i)] = x[i] + proj[static_cast<std::size_t>(i)];
+  float* ctx = dec_ctx_.data();
+  attention_decode(qv, pos, ctx);
+  float* proj = dec_proj_.data();
+  o_.forward_tokens(ctx, 1, proj);
+  float* r1 = dec_r1_.data();
+  for (std::int64_t i = 0; i < H; ++i) r1[i] = x[i] + proj[i];
 
-  ln(r1.data(), ln2_.gamma().data(), ln2_.beta().data(), &mean, &var,
-     normed.data());
-  std::vector<float> mid(static_cast<std::size_t>(cfg_.ffn));
-  up_.forward_tokens(normed.data(), 1, mid.data());
-  std::vector<float> down(static_cast<std::size_t>(H));
-  down_.forward_tokens(mid.data(), 1, down.data());
-  for (std::int64_t i = 0; i < H; ++i)
-    y[i] = r1[static_cast<std::size_t>(i)] + down[static_cast<std::size_t>(i)];
+  ln(r1, ln2_.gamma().data(), ln2_.beta().data(), &mean, &var, normed);
+  float* mid = dec_mid_.data();
+  up_.forward_tokens(normed, 1, mid);
+  float* down = dec_down_.data();
+  down_.forward_tokens(mid, 1, down);
+  for (std::int64_t i = 0; i < H; ++i) y[i] = r1[i] + down[i];
 }
 
 LlmModel::LlmModel(LlmConfig cfg, Xoshiro256& rng) : cfg_(cfg) {

@@ -53,6 +53,12 @@ class DecoderLayer {
   LayerNorm ln1_, ln2_;
   Tensor k_cache_, v_cache_;  // [max_seq][hidden]
   Tensor qb_, ctx_, proj_, res1_, ln1_out_, ffn_mid_, ffn_out_;
+  // Single-token decode scratch, preallocated: the decode path is called
+  // per generated token per layer, so per-call heap traffic would dominate
+  // its bandwidth-bound profile.
+  Tensor dec_normed_, dec_qv_, dec_ctx_, dec_proj_, dec_r1_, dec_mid_,
+      dec_down_;
+  mutable std::vector<float> dec_scores_;  // [max_seq]
 };
 
 class LlmModel {

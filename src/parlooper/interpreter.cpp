@@ -1,9 +1,9 @@
 #include "parlooper/interpreter.hpp"
 
-#include <cstdlib>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/threading.hpp"
 
 namespace plt::parlooper {
@@ -196,12 +196,9 @@ ThreadProgram record_program(const LoopNestPlan& plan, int tid, int nthreads) {
 }  // namespace
 
 std::int64_t LoopNestPlan::flat_schedule_max_iters() {
-  static const std::int64_t v = [] {
-    if (const char* env = std::getenv("PLT_FLAT_SCHED_MAX")) {
-      return static_cast<std::int64_t>(std::atoll(env));
-    }
-    return static_cast<std::int64_t>(1) << 13;  // 8192 body invocations
-  }();
+  // 0 disables precompiled schedules entirely (forces the recursive walk).
+  static const std::int64_t v = common::env_int(
+      "PLT_FLAT_SCHED_MAX", std::int64_t{1} << 13, 0, std::int64_t{1} << 32);
   return v;
 }
 

@@ -1,10 +1,10 @@
 #include "parlooper/threaded_loop.hpp"
 
-#include <cstdlib>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
 
+#include "common/env.hpp"
 #include "parlooper/jit_backend.hpp"
 
 namespace plt::parlooper {
@@ -39,10 +39,7 @@ std::string plan_key(const std::vector<LoopSpecs>& loops,
 }
 
 bool jit_requested_by_env() {
-  static const bool v = [] {
-    const char* env = std::getenv("PLT_PARLOOPER_JIT");
-    return env != nullptr && env[0] == '1';
-  }();
+  static const bool v = common::env_flag("PLT_PARLOOPER_JIT", false);
   return v;
 }
 

@@ -1,0 +1,36 @@
+#include "serving/model_registry.hpp"
+
+#include "common/check.hpp"
+
+namespace plt::serving {
+
+void ModelRegistry::add(std::shared_ptr<Session> session) {
+  PLT_CHECK(session != nullptr, "registry: null session");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = by_name_.emplace(session->name(), session);
+  PLT_CHECK(inserted, "registry: duplicate model name");
+  ordered_.push_back(std::move(session));
+}
+
+std::shared_ptr<Session> ModelRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Session>> ModelRegistry::sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ordered_;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ordered_.size();
+}
+
+ModelRegistry& ModelRegistry::instance() {
+  static ModelRegistry* reg = new ModelRegistry();  // leaked like the pool
+  return *reg;
+}
+
+}  // namespace plt::serving

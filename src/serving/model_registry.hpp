@@ -1,0 +1,41 @@
+// Registry of live serving sessions, keyed by model name. The scheduler
+// resolves submit-by-name through it; benches and the demo iterate it to
+// drive mixed traffic. Thread-safe (sessions register at startup but lookups
+// run concurrently with serving).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serving/session.hpp"
+
+namespace plt::serving {
+
+class ModelRegistry {
+ public:
+  // Registers a session under session->name(); fails on duplicates (two
+  // models with one name would make batch grouping ambiguous).
+  void add(std::shared_ptr<Session> session);
+
+  // nullptr when the name is unknown.
+  std::shared_ptr<Session> find(const std::string& name) const;
+
+  // Registration-ordered snapshot of every session.
+  std::vector<std::shared_ptr<Session>> sessions() const;
+
+  std::size_t size() const;
+
+  // Process-wide registry (a serving host typically wants exactly one);
+  // scoped registries remain constructible for tests.
+  static ModelRegistry& instance();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Session>> by_name_;
+  std::vector<std::shared_ptr<Session>> ordered_;
+};
+
+}  // namespace plt::serving

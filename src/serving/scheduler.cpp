@@ -1,0 +1,242 @@
+#include "serving/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "common/threading.hpp"
+#include "common/timer.hpp"
+
+namespace plt::serving {
+
+using steady_clock = std::chrono::steady_clock;
+
+SchedulerConfig SchedulerConfig::from_env() {
+  const SchedulerConfig def;
+  SchedulerConfig c;
+  c.max_batch = static_cast<int>(
+      common::env_int("PLT_SERVE_MAX_BATCH", def.max_batch, 1, 4096));
+  c.batch_usecs =
+      common::env_int("PLT_SERVE_BATCH_USECS", def.batch_usecs, 0, 60000000);
+  c.queue_capacity = static_cast<std::size_t>(common::env_int(
+      "PLT_SERVE_QUEUE_CAP", static_cast<std::int64_t>(def.queue_capacity), 2,
+      1 << 20));
+  return c;
+}
+
+void RequestHandle::wait() const {
+  if (st_ == nullptr) return;
+  if (st_->done.load(std::memory_order_acquire)) return;
+  // Straight to the condvar: a request spans at least one model forward, so
+  // spinning here only steals cycles from the team doing the work.
+  RequestScheduler* owner = st_->owner;
+  std::unique_lock<std::mutex> lk(owner->done_mu_);
+  owner->done_cv_.wait(
+      lk, [&] { return st_->done.load(std::memory_order_acquire); });
+}
+
+RequestScheduler::RequestScheduler(SchedulerConfig cfg)
+    : cfg_(cfg), queue_(cfg.queue_capacity) {
+  PLT_CHECK(cfg_.max_batch >= 1, "serving: max_batch must be >= 1");
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+RequestScheduler::~RequestScheduler() { shutdown(); }
+
+void RequestScheduler::wake_dispatcher() {
+  {
+    std::lock_guard<std::mutex> g(wake_mu_);
+  }
+  wake_cv_.notify_all();
+}
+
+RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
+                                       const float* in, float* out) {
+  PLT_CHECK(session != nullptr, "serving: submit with null session");
+  submitters_.fetch_add(1, std::memory_order_seq_cst);
+  if (stop_.load(std::memory_order_seq_cst)) {
+    submitters_.fetch_sub(1, std::memory_order_seq_cst);
+    return RequestHandle();  // admission closed
+  }
+
+  auto st = std::make_shared<detail::RequestState>();
+  st->session = session;
+  st->in = in;
+  st->out = out;
+  st->owner = this;
+  st->t_submit = steady_clock::now();
+
+  while (!queue_.try_push(st)) {
+    // Full queue = back-pressure: make sure the dispatcher is draining, then
+    // let it run. Accepted requests are never dropped.
+    wake_dispatcher();
+    std::this_thread::yield();
+  }
+  // Fence pairs with the dispatcher's fence after it sets parked: either we
+  // observe parked and notify, or the dispatcher's predicate observes our
+  // push. Never both missed (no lost wakeup).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (dispatcher_parked_.load(std::memory_order_relaxed)) wake_dispatcher();
+
+  submitters_.fetch_sub(1, std::memory_order_seq_cst);
+  return RequestHandle(std::move(st));
+}
+
+void RequestScheduler::execute_batch(
+    Session* session, std::vector<std::shared_ptr<detail::RequestState>> reqs,
+    std::size_t pending_highwater) {
+  const int batch = static_cast<int>(reqs.size());
+  std::vector<detail::RequestState*> rp(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) rp[i] = reqs[i].get();
+
+  WallTimer exec_timer;
+  // One region for the whole batch: team member t serves requests
+  // t, t + nthreads, ... on their own lanes; nests inside a request run as
+  // serial walks (nested-region rule), so this is the only dispatch cost.
+  parallel_region([&](int tid, int nthreads) {
+    for (int i = tid; i < batch; i += nthreads) {
+      session->run(i, rp[i]->in, rp[i]->out);
+    }
+  });
+  const double exec_us = exec_timer.micros();
+
+  const auto now = steady_clock::now();
+  double sum_lat = 0.0, max_lat = 0.0;
+  for (auto& r : reqs) {
+    const double lat =
+        std::chrono::duration<double, std::micro>(now - r->t_submit).count();
+    r->latency_us = lat;  // before the release store: visible once done
+    sum_lat += lat;
+    max_lat = std::max(max_lat, lat);
+  }
+
+  // Stats before completion: a client that has waited on all its handles
+  // must see every one of them counted.
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ModelStats& st = stats_[session->name()];
+    if (st.model.empty()) st.model = session->name();
+    st.requests += static_cast<std::uint64_t>(batch);
+    st.batches += 1;
+    st.batched_requests_sum += static_cast<std::uint64_t>(batch);
+    st.sum_latency_us += sum_lat;
+    st.max_latency_us = std::max(st.max_latency_us, max_lat);
+    st.sum_exec_us += exec_us;
+    st.pending_highwater = std::max(st.pending_highwater, pending_highwater);
+  }
+
+  for (auto& r : reqs) r->done.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(done_mu_);
+  }
+  done_cv_.notify_all();
+}
+
+void RequestScheduler::dispatcher_main() {
+  std::unordered_map<Session*, Pending> pending;
+  std::size_t n_pending = 0;
+
+  const auto effective_batch = [&](Session* s) {
+    return std::min(cfg_.max_batch, s->lanes());
+  };
+  const auto flush = [&](Pending& p) {
+    Session* s = p.reqs.front()->session.get();
+    n_pending -= p.reqs.size();
+    const std::size_t hw = p.highwater;
+    execute_batch(s, std::move(p.reqs), hw);
+    p.reqs.clear();
+  };
+  const auto admit = [&](std::shared_ptr<detail::RequestState> r) {
+    Session* s = r->session.get();
+    Pending& p = pending[s];
+    if (p.reqs.empty()) p.oldest = r->t_submit;
+    p.reqs.push_back(std::move(r));
+    ++n_pending;
+    p.highwater = std::max(p.highwater, p.reqs.size());
+    if (static_cast<int>(p.reqs.size()) >= effective_batch(s)) flush(p);
+  };
+
+  while (true) {
+    const std::size_t depth = queue_.size_approx() + n_pending;
+    if (depth > queue_highwater_.load(std::memory_order_relaxed)) {
+      queue_highwater_.store(depth, std::memory_order_relaxed);
+    }
+
+    std::shared_ptr<detail::RequestState> r;
+    while (queue_.try_pop(r)) admit(std::move(r));
+
+    if (stop_.load(std::memory_order_seq_cst)) {
+      // Draining: flush every partial batch immediately, then exit once no
+      // producer is mid-submit and the queue is provably empty.
+      for (auto& entry : pending) {
+        if (!entry.second.reqs.empty()) flush(entry.second);
+      }
+      if (submitters_.load(std::memory_order_seq_cst) == 0) {
+        if (!queue_.try_pop(r)) break;
+        admit(std::move(r));
+      } else {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+
+    if (n_pending == 0) {
+      std::unique_lock<std::mutex> lk(wake_mu_);
+      dispatcher_parked_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      wake_cv_.wait(lk, [&] {
+        return queue_.size_approx() > 0 ||
+               stop_.load(std::memory_order_acquire);
+      });
+      dispatcher_parked_.store(false, std::memory_order_relaxed);
+      continue;
+    }
+
+    // Partial batches: flush the ones whose oldest request hit the deadline,
+    // then sleep until the next deadline (or a new arrival).
+    const auto now = steady_clock::now();
+    steady_clock::time_point earliest = steady_clock::time_point::max();
+    for (auto& entry : pending) {
+      Pending& p = entry.second;
+      if (p.reqs.empty()) continue;
+      const auto deadline =
+          p.oldest + std::chrono::microseconds(cfg_.batch_usecs);
+      if (deadline <= now) {
+        flush(p);
+      } else {
+        earliest = std::min(earliest, deadline);
+      }
+    }
+    if (n_pending == 0) continue;
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    dispatcher_parked_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    wake_cv_.wait_until(lk, earliest, [&] {
+      return queue_.size_approx() > 0 || stop_.load(std::memory_order_acquire);
+    });
+    dispatcher_parked_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void RequestScheduler::shutdown() {
+  stop_.store(true, std::memory_order_seq_cst);
+  wake_dispatcher();
+  bool expected = false;
+  if (joined_.compare_exchange_strong(expected, true)) {
+    if (dispatcher_.joinable()) dispatcher_.join();
+  }
+}
+
+std::vector<ModelStats> RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  std::vector<ModelStats> out;
+  out.reserve(stats_.size());
+  for (const auto& entry : stats_) out.push_back(entry.second);
+  std::sort(out.begin(), out.end(),
+            [](const ModelStats& a, const ModelStats& b) {
+              return a.model < b.model;
+            });
+  return out;
+}
+
+}  // namespace plt::serving

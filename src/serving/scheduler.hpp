@@ -1,0 +1,171 @@
+// Micro-batching request scheduler: the serving layer's core. Producer
+// threads submit (session, in, out) requests into a lock-free MPMC admission
+// queue; one dispatcher thread drains it, groups compatible requests (same
+// session => same model/shape/dtype by construction) and flushes a group as
+// one batch when it reaches PLT_SERVE_MAX_BATCH requests or its oldest
+// request has waited PLT_SERVE_BATCH_USECS microseconds.
+//
+// A batch executes as a single plt::parallel_region on the process-wide
+// persistent pool: team member t runs requests t, t+nthreads, ... each on
+// its own session lane, and every PARLOOPER nest inside a request degrades
+// to a serial walk (nested-region rule). So the per-batch dispatch cost is
+// one epoch bump — no per-request OpenMP region spawn, ever — and requests
+// in a batch run concurrently across the team.
+//
+// Determinism: a lane is a full model replica seeded identically to every
+// other lane, and a serial nest walk is bitwise-equal to a parallel one
+// (threading.hpp invariant), so batched execution is bitwise-identical to
+// sequential per-request execution. tests/test_serving.cpp asserts this.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+#include "serving/session.hpp"
+
+namespace plt::serving {
+
+struct SchedulerConfig {
+  int max_batch = 8;              // PLT_SERVE_MAX_BATCH
+  std::int64_t batch_usecs = 200; // PLT_SERVE_BATCH_USECS (0 = flush asap)
+  std::size_t queue_capacity = 1024;  // PLT_SERVE_QUEUE_CAP
+
+  // Reads the PLT_SERVE_* environment knobs (range-validated; bad values
+  // warn and fall back to the defaults above).
+  static SchedulerConfig from_env();
+};
+
+// Per-model serving counters, snapshot via RequestScheduler::stats().
+struct ModelStats {
+  std::string model;
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests_sum = 0;  // sum of batch sizes
+  double sum_latency_us = 0.0;             // submit -> completion
+  double max_latency_us = 0.0;
+  double sum_exec_us = 0.0;                // batch execution wall time
+  std::size_t pending_highwater = 0;       // per-model micro-batch backlog
+
+  double mean_latency_us() const {
+    return requests ? sum_latency_us / static_cast<double>(requests) : 0.0;
+  }
+  double mean_batch() const {
+    return batches ? static_cast<double>(batched_requests_sum) /
+                         static_cast<double>(batches)
+                   : 0.0;
+  }
+};
+
+class RequestScheduler;
+
+namespace detail {
+struct RequestState {
+  std::shared_ptr<Session> session;
+  const float* in = nullptr;
+  float* out = nullptr;
+  RequestScheduler* owner = nullptr;  // for the shared completion cv
+  std::chrono::steady_clock::time_point t_submit;
+  double latency_us = 0.0;  // written by the dispatcher before done
+  std::atomic<bool> done{false};
+};
+}  // namespace detail
+
+// Handle returned by submit(). ok() is false when the scheduler rejected
+// the request (submitted after shutdown). Valid to wait on from any thread;
+// must not outlive the scheduler.
+class RequestHandle {
+ public:
+  RequestHandle() = default;
+
+  bool ok() const { return st_ != nullptr; }
+  bool done() const {
+    return st_ == nullptr || st_->done.load(std::memory_order_acquire);
+  }
+  // Blocks until the request completes (returns immediately if !ok()).
+  void wait() const;
+  // submit -> completion, microseconds; valid once done().
+  double latency_us() const { return st_ ? st_->latency_us : 0.0; }
+
+ private:
+  friend class RequestScheduler;
+  explicit RequestHandle(std::shared_ptr<detail::RequestState> st)
+      : st_(std::move(st)) {}
+  std::shared_ptr<detail::RequestState> st_;
+};
+
+class RequestScheduler {
+ public:
+  explicit RequestScheduler(SchedulerConfig cfg = SchedulerConfig::from_env());
+  ~RequestScheduler();  // implies shutdown()
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  // Enqueues one inference request. `in` and `out` must stay valid until the
+  // handle reports done. Blocks (spin + yield) while the admission queue is
+  // full; returns a !ok() handle after shutdown() has begun.
+  RequestHandle submit(const std::shared_ptr<Session>& session,
+                       const float* in, float* out);
+
+  // Stops admission, drains every accepted request (in-flight work
+  // completes), then joins the dispatcher. Idempotent.
+  void shutdown();
+
+  const SchedulerConfig& config() const { return cfg_; }
+
+  // Snapshot of the per-model counters (stable once shutdown() returned).
+  std::vector<ModelStats> stats() const;
+
+  // Deepest admission-queue backlog observed by the dispatcher.
+  std::size_t queue_depth_highwater() const {
+    return queue_highwater_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    std::vector<std::shared_ptr<detail::RequestState>> reqs;
+    std::chrono::steady_clock::time_point oldest;
+    std::size_t highwater = 0;
+  };
+
+  void dispatcher_main();
+  void execute_batch(Session* session,
+                     std::vector<std::shared_ptr<detail::RequestState>> reqs,
+                     std::size_t pending_highwater);
+  void wake_dispatcher();
+
+  SchedulerConfig cfg_;
+  common::MpmcQueue<std::shared_ptr<detail::RequestState>> queue_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<int> submitters_{0};  // producers currently inside submit()
+  std::atomic<std::size_t> queue_highwater_{0};
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> dispatcher_parked_{false};
+
+  mutable std::mutex stats_mu_;
+  std::unordered_map<std::string, ModelStats> stats_;
+
+  // One completion condvar for all requests, notified once per batch: far
+  // fewer futex wakes than a per-request condvar (which measurably eats
+  // into small-request throughput on low-core hosts).
+  friend class RequestHandle;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+
+  std::thread dispatcher_;
+  std::atomic<bool> joined_{false};
+};
+
+}  // namespace plt::serving

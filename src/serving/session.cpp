@@ -1,0 +1,274 @@
+#include "serving/session.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace plt::serving {
+
+void Session::warmup() {
+  std::vector<float> in(static_cast<std::size_t>(input_elems_));
+  std::vector<float> out(static_cast<std::size_t>(output_elems_));
+  Xoshiro256 rng(0xC0FFEEull);
+  fill_uniform(in.data(), in.size(), rng, -0.1f, 0.1f);
+  for (int l = 0; l < lanes_; ++l) run(l, in.data(), out.data());
+}
+
+namespace {
+
+// --- MLP --------------------------------------------------------------------
+
+class MlpSession final : public Session {
+ public:
+  MlpSession(const std::string& name, const MlpServeConfig& cfg, int lanes,
+             std::uint64_t seed)
+      : Session(name, lanes, cfg.tokens * cfg.features,
+                cfg.tokens * cfg.features,
+                2.0 * static_cast<double>(cfg.tokens) * cfg.features *
+                    cfg.features * cfg.layers),
+        cfg_(cfg) {
+    PLT_CHECK(cfg.layers >= 1, "serving: MLP needs at least one layer");
+    dl::FcConfig fc;
+    fc.in_features = fc.out_features = cfg.features;
+    fc.tokens = cfg.tokens;
+    fc.bm = cfg.bm;
+    fc.bn = cfg.bn;
+    fc.bk = cfg.bk;
+    fc.dtype = cfg.dtype;
+    fc.act = dl::FcActivation::kRelu;
+    fc.loop_spec = cfg.loop_spec;
+    for (int l = 0; l < this->lanes(); ++l) {
+      Xoshiro256 rng(seed);  // every lane sees the same weight stream
+      Lane lane;
+      for (std::int64_t i = 0; i < cfg.layers; ++i) {
+        lane.layers.push_back(std::make_unique<dl::FcLayer>(fc, rng));
+      }
+      lane.ping.assign(static_cast<std::size_t>(input_elems()), 0.0f);
+      lane.pong.assign(static_cast<std::size_t>(input_elems()), 0.0f);
+      lanes_.push_back(std::move(lane));
+    }
+    warmup();
+  }
+
+  void run(int lane_id, const float* in, float* out) override {
+    Lane& lane = lanes_[static_cast<std::size_t>(lane_id)];
+    const float* src = in;
+    for (std::size_t i = 0; i < lane.layers.size(); ++i) {
+      float* dst = i + 1 == lane.layers.size()
+                       ? out
+                       : (i % 2 == 0 ? lane.ping.data() : lane.pong.data());
+      lane.layers[i]->forward(src, dst);
+      src = dst;
+    }
+  }
+
+ private:
+  struct Lane {
+    std::vector<std::unique_ptr<dl::FcLayer>> layers;
+    std::vector<float> ping, pong;
+  };
+  MlpServeConfig cfg_;
+  std::vector<Lane> lanes_;
+};
+
+// --- BERT -------------------------------------------------------------------
+
+class BertSession final : public Session {
+ public:
+  BertSession(const std::string& name, const dl::BertConfig& cfg, int lanes,
+              std::uint64_t seed)
+      : Session(name, lanes, cfg.tokens() * cfg.hidden,
+                cfg.tokens() * cfg.hidden, 0.0) {
+    for (int l = 0; l < this->lanes(); ++l) {
+      Xoshiro256 rng(seed);
+      models_.push_back(std::make_unique<dl::BertEncoder>(cfg, rng));
+    }
+    set_flops(models_[0]->forward_flops());
+    warmup();
+  }
+
+  void run(int lane, const float* in, float* out) override {
+    // dropout_p == 0: forward consumes no randomness, the rng is inert.
+    Xoshiro256 rng(0);
+    models_[static_cast<std::size_t>(lane)]->forward(in, out, rng);
+  }
+
+ private:
+  std::vector<std::unique_ptr<dl::BertEncoder>> models_;
+};
+
+// --- block-sparse FC --------------------------------------------------------
+
+class SparseFcSession final : public Session {
+ public:
+  SparseFcSession(const std::string& name, const dl::SparseFcConfig& cfg,
+                  int lanes, std::uint64_t seed)
+      : Session(name, lanes, cfg.tokens * cfg.in_features,
+                cfg.tokens * cfg.out_features, 0.0) {
+    Xoshiro256 rng(seed);
+    dl::Tensor weight({cfg.out_features, cfg.in_features});
+    dl::Tensor bias({cfg.out_features});
+    weight.randn_uniform(rng, -0.1f, 0.1f);
+    bias.randn_uniform(rng, -0.01f, 0.01f);
+    for (int l = 0; l < this->lanes(); ++l) {
+      layers_.push_back(
+          std::make_unique<dl::SparseFcLayer>(cfg, weight, bias));
+    }
+    set_flops(layers_[0]->effective_flops());
+    warmup();
+  }
+
+  void run(int lane, const float* in, float* out) override {
+    layers_[static_cast<std::size_t>(lane)]->forward(in, out);
+  }
+
+ private:
+  std::vector<std::unique_ptr<dl::SparseFcLayer>> layers_;
+};
+
+// --- LLM (prefill + decode) -------------------------------------------------
+
+class LlmSession final : public Session {
+ public:
+  LlmSession(const std::string& name, const dl::LlmConfig& cfg,
+             std::int64_t prompt_len, std::int64_t gen_tokens, int lanes,
+             std::uint64_t seed)
+      : Session(name, lanes, prompt_len * cfg.hidden, gen_tokens * cfg.hidden,
+                llm_flops(cfg, prompt_len, gen_tokens)),
+        cfg_(cfg),
+        prompt_len_(prompt_len),
+        gen_tokens_(gen_tokens) {
+    PLT_CHECK(prompt_len >= 1 && gen_tokens >= 1,
+              "serving: LLM needs prompt_len >= 1 and gen_tokens >= 1");
+    PLT_CHECK(prompt_len + gen_tokens <= cfg.max_seq,
+              "serving: prompt + generation exceeds max_seq");
+    for (int l = 0; l < this->lanes(); ++l) {
+      Xoshiro256 rng(seed);
+      Lane lane;
+      for (std::int64_t i = 0; i < cfg.layers; ++i) {
+        lane.layers.push_back(std::make_unique<dl::DecoderLayer>(cfg, rng));
+      }
+      const std::size_t hs =
+          static_cast<std::size_t>(prompt_len * cfg.hidden);
+      lane.ping.assign(hs, 0.0f);
+      lane.pong.assign(hs, 0.0f);
+      lane.tok.assign(static_cast<std::size_t>(cfg.hidden), 0.0f);
+      lane.tok_out.assign(static_cast<std::size_t>(cfg.hidden), 0.0f);
+      lanes_.push_back(std::move(lane));
+    }
+    warmup();
+  }
+
+  void run(int lane_id, const float* in, float* out) override {
+    Lane& lane = lanes_[static_cast<std::size_t>(lane_id)];
+    const std::int64_t H = cfg_.hidden;
+
+    const float* src = in;
+    float* a = lane.ping.data();
+    float* b = lane.pong.data();
+    for (auto& layer : lane.layers) {
+      layer->prefill(src, prompt_len_, a);
+      src = a;
+      std::swap(a, b);
+    }
+
+    // Seed the first decode step from the last prompt position, exactly as
+    // LlmModel::generate does.
+    const float* last = src + (prompt_len_ - 1) * H;
+    for (std::int64_t d = 0; d < H; ++d) {
+      lane.tok[static_cast<std::size_t>(d)] = last[d] * 0.5f;
+    }
+    for (std::int64_t g = 0; g < gen_tokens_; ++g) {
+      const std::int64_t pos = prompt_len_ + g;
+      for (auto& layer : lane.layers) {
+        layer->decode_one(lane.tok.data(), pos, lane.tok_out.data());
+        std::swap(lane.tok, lane.tok_out);
+      }
+      for (std::int64_t d = 0; d < H; ++d) {
+        out[g * H + d] = lane.tok[static_cast<std::size_t>(d)];
+      }
+    }
+  }
+
+ private:
+  static double llm_flops(const dl::LlmConfig& cfg, std::int64_t prompt,
+                          std::int64_t gen) {
+    const double h = static_cast<double>(cfg.hidden);
+    const double tokens = static_cast<double>(prompt + gen);
+    const double per_layer = 2.0 * tokens * h * h * 4.0 +
+                             2.0 * tokens * h * static_cast<double>(cfg.ffn) * 2.0 +
+                             4.0 * tokens * tokens * h;
+    return per_layer * static_cast<double>(cfg.layers);
+  }
+
+  struct Lane {
+    std::vector<std::unique_ptr<dl::DecoderLayer>> layers;
+    std::vector<float> ping, pong, tok, tok_out;
+  };
+  dl::LlmConfig cfg_;
+  std::int64_t prompt_len_;
+  std::int64_t gen_tokens_;
+  std::vector<Lane> lanes_;
+};
+
+// --- ResNet-50 --------------------------------------------------------------
+
+class ResNetSession final : public Session {
+ public:
+  ResNetSession(const std::string& name, const dl::ResNetConfig& cfg,
+                int lanes, std::uint64_t seed)
+      : Session(name, lanes, cfg.N * 3 * cfg.image * cfg.image, cfg.N * 1000,
+                0.0) {
+    for (int l = 0; l < this->lanes(); ++l) {
+      Xoshiro256 rng(seed);
+      models_.push_back(std::make_unique<dl::ResNet50>(cfg, rng));
+    }
+    set_flops(models_[0]->forward_flops());
+    warmup();
+  }
+
+  void run(int lane, const float* in, float* out) override {
+    models_[static_cast<std::size_t>(lane)]->forward(in, out);
+  }
+
+ private:
+  std::vector<std::unique_ptr<dl::ResNet50>> models_;
+};
+
+}  // namespace
+
+std::shared_ptr<Session> make_mlp_session(const std::string& name,
+                                          const MlpServeConfig& cfg, int lanes,
+                                          std::uint64_t seed) {
+  return std::make_shared<MlpSession>(name, cfg, lanes, seed);
+}
+
+std::shared_ptr<Session> make_bert_session(const std::string& name,
+                                           dl::BertConfig cfg, int lanes,
+                                           std::uint64_t seed) {
+  cfg.dropout_p = 0.0f;  // inference: keeps forward RNG-free + deterministic
+  return std::make_shared<BertSession>(name, cfg, lanes, seed);
+}
+
+std::shared_ptr<Session> make_sparse_fc_session(const std::string& name,
+                                                const dl::SparseFcConfig& cfg,
+                                                int lanes, std::uint64_t seed) {
+  return std::make_shared<SparseFcSession>(name, cfg, lanes, seed);
+}
+
+std::shared_ptr<Session> make_llm_session(const std::string& name,
+                                          dl::LlmConfig cfg,
+                                          std::int64_t prompt_len,
+                                          std::int64_t gen_tokens, int lanes,
+                                          std::uint64_t seed) {
+  return std::make_shared<LlmSession>(name, cfg, prompt_len, gen_tokens, lanes,
+                                      seed);
+}
+
+std::shared_ptr<Session> make_resnet_session(const std::string& name,
+                                             const dl::ResNetConfig& cfg,
+                                             int lanes, std::uint64_t seed) {
+  return std::make_shared<ResNetSession>(name, cfg, lanes, seed);
+}
+
+}  // namespace plt::serving

@@ -1,0 +1,116 @@
+// Serving sessions: a uniform run(lane, in, out) interface over the dl
+// models (MLP stack, BERT encoder, block-sparse FC, LLM decoder, ResNet-50)
+// so the request scheduler can multiplex heterogeneous traffic onto the one
+// process-wide thread pool.
+//
+// Lanes. The dl models keep mutable scratch (staging panels, saved
+// activations, KV caches) inside the model object, so one instance cannot
+// serve two requests concurrently. A session therefore owns `lanes`
+// independent replicas, every one constructed from the same RNG seed:
+// identical weights, identical plans, identical kernel-cache entries. Any
+// lane produces bitwise-identical output for the same input, which is what
+// lets the scheduler prove batched == sequential execution byte for byte.
+//
+// Construction is the expensive, once-per-model step: it packs weights,
+// builds every LoopNest plan and resolves the kernel-cache entries (a
+// warmup request runs through each lane), so steady-state serving touches
+// only cached plans and compiled kernels — the paper's near-zero-overhead
+// dispatch story lifted from per-nest to per-request.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dl/bert.hpp"
+#include "dl/llm.hpp"
+#include "dl/resnet.hpp"
+#include "dl/sparse_fc.hpp"
+
+namespace plt::serving {
+
+class Session {
+ public:
+  virtual ~Session() = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& name() const { return name_; }
+  int lanes() const { return lanes_; }
+  std::int64_t input_elems() const { return input_elems_; }
+  std::int64_t output_elems() const { return output_elems_; }
+  double flops_per_request() const { return flops_; }
+
+  // Runs one request on the given lane. Distinct lanes are safe to run
+  // concurrently; the same lane must not be entered twice at once. Called
+  // by the scheduler from inside a pool region (nested nests degrade to a
+  // serial walk) and by clients directly for sequential reference runs.
+  virtual void run(int lane, const float* in, float* out) = 0;
+
+ protected:
+  Session(std::string name, int lanes, std::int64_t input_elems,
+          std::int64_t output_elems, double flops)
+      : name_(std::move(name)),
+        lanes_(lanes < 1 ? 1 : lanes),
+        input_elems_(input_elems),
+        output_elems_(output_elems),
+        flops_(flops) {}
+
+  // Runs one synthetic request through every lane so plans, flat schedules
+  // and JITed kernels are resolved before the first real request arrives.
+  void warmup();
+
+  // For sessions whose flop count is only known after the model is built.
+  void set_flops(double f) { flops_ = f; }
+
+ private:
+  std::string name_;
+  int lanes_;
+  std::int64_t input_elems_;
+  std::int64_t output_elems_;
+  double flops_;
+};
+
+// Stack of `layers` fully-connected layers, all `features` wide, over
+// `tokens` rows (the Fig. 3 MLP shape, served per request).
+struct MlpServeConfig {
+  std::int64_t features = 128;
+  std::int64_t layers = 2;
+  std::int64_t tokens = 32;
+  std::int64_t bm = 32, bn = 32, bk = 32;  // must divide features
+  DType dtype = DType::F32;
+  std::string loop_spec = "BCa";
+};
+std::shared_ptr<Session> make_mlp_session(const std::string& name,
+                                          const MlpServeConfig& cfg, int lanes,
+                                          std::uint64_t seed);
+
+// BERT encoder inference: in/out are [tokens][hidden]. dropout is forced to
+// 0 (inference), so forward consumes no RNG and stays deterministic.
+std::shared_ptr<Session> make_bert_session(const std::string& name,
+                                           dl::BertConfig cfg, int lanes,
+                                           std::uint64_t seed);
+
+// Single block-sparse FC layer (the Fig. 10 inference building block):
+// in [tokens][in_features] -> out [tokens][out_features].
+std::shared_ptr<Session> make_sparse_fc_session(const std::string& name,
+                                                const dl::SparseFcConfig& cfg,
+                                                int lanes, std::uint64_t seed);
+
+// LLM request: prefill `prompt_len` embedding rows, then autoregressively
+// decode `gen_tokens` steps (each step feeds back the previous output, as in
+// LlmModel::generate). in: [prompt_len][hidden]; out: [gen_tokens][hidden]
+// (the decoded embeddings). Per-lane KV caches are fully overwritten by each
+// request, so sessions are stateless across requests.
+std::shared_ptr<Session> make_llm_session(const std::string& name,
+                                          dl::LlmConfig cfg,
+                                          std::int64_t prompt_len,
+                                          std::int64_t gen_tokens, int lanes,
+                                          std::uint64_t seed);
+
+// ResNet-50 classification: in NCHW [N][3][image][image] -> out [N][1000].
+std::shared_ptr<Session> make_resnet_session(const std::string& name,
+                                             const dl::ResNetConfig& cfg,
+                                             int lanes, std::uint64_t seed);
+
+}  // namespace plt::serving

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "common/aligned_buffer.hpp"
 #include "common/bf16.hpp"
 #include "common/cpu_features.hpp"
+#include "common/env.hpp"
 #include "common/math_utils.hpp"
 #include "common/rng.hpp"
 
@@ -127,6 +129,59 @@ TEST(CpuFeatures, ConsistentIsaSelection) {
   if (isa >= IsaLevel::kAVX512BF16) EXPECT_TRUE(f.avx512_bf16);
   EXPECT_GE(f.logical_cores, 1);
   EXPECT_STRNE(isa_name(isa), "?");
+}
+
+// --- env helpers (centralized PLT_* parsing) ---------------------------------
+
+TEST(Env, IntParsesValidatesAndFallsBack) {
+  ::unsetenv("PLT_TEST_INT");
+  EXPECT_EQ(common::env_int("PLT_TEST_INT", 42), 42);
+  ::setenv("PLT_TEST_INT", "17", 1);
+  EXPECT_EQ(common::env_int("PLT_TEST_INT", 42), 17);
+  ::setenv("PLT_TEST_INT", "-5", 1);
+  EXPECT_EQ(common::env_int("PLT_TEST_INT", 42, 0, 100), 42);  // range
+  ::setenv("PLT_TEST_INT", "12abc", 1);
+  EXPECT_EQ(common::env_int("PLT_TEST_INT", 42), 42);  // trailing garbage
+  ::setenv("PLT_TEST_INT", "abc", 1);
+  EXPECT_EQ(common::env_int("PLT_TEST_INT", 42), 42);  // not a number
+  ::unsetenv("PLT_TEST_INT");
+}
+
+TEST(Env, FlagAcceptsDocumentedSpellingsOnly) {
+  ::unsetenv("PLT_TEST_FLAG");
+  EXPECT_TRUE(common::env_flag("PLT_TEST_FLAG", true));
+  EXPECT_FALSE(common::env_flag("PLT_TEST_FLAG", false));
+  for (const char* t : {"1", "true", "on"}) {
+    ::setenv("PLT_TEST_FLAG", t, 1);
+    EXPECT_TRUE(common::env_flag("PLT_TEST_FLAG", false)) << t;
+  }
+  for (const char* f : {"0", "false", "off"}) {
+    ::setenv("PLT_TEST_FLAG", f, 1);
+    EXPECT_FALSE(common::env_flag("PLT_TEST_FLAG", true)) << f;
+  }
+  ::setenv("PLT_TEST_FLAG", "yep", 1);
+  EXPECT_TRUE(common::env_flag("PLT_TEST_FLAG", true));  // warn + default
+  ::unsetenv("PLT_TEST_FLAG");
+}
+
+TEST(Env, EnumRejectsUnknownValues) {
+  ::unsetenv("PLT_TEST_ENUM");
+  EXPECT_EQ(common::env_enum("PLT_TEST_ENUM", "pool", {"omp", "pool"}),
+            "pool");
+  ::setenv("PLT_TEST_ENUM", "omp", 1);
+  EXPECT_EQ(common::env_enum("PLT_TEST_ENUM", "pool", {"omp", "pool"}), "omp");
+  ::setenv("PLT_TEST_ENUM", "pools", 1);
+  EXPECT_EQ(common::env_enum("PLT_TEST_ENUM", "pool", {"omp", "pool"}),
+            "pool");  // warn + default
+  ::unsetenv("PLT_TEST_ENUM");
+}
+
+TEST(Env, StrPassesThrough) {
+  ::unsetenv("PLT_TEST_STR");
+  EXPECT_EQ(common::env_str("PLT_TEST_STR", "dflt"), "dflt");
+  ::setenv("PLT_TEST_STR", "/some/path", 1);
+  EXPECT_EQ(common::env_str("PLT_TEST_STR", "dflt"), "/some/path");
+  ::unsetenv("PLT_TEST_STR");
 }
 
 }  // namespace

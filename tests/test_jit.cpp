@@ -26,32 +26,46 @@ Coverage run_and_record(const LoopNest& nest, int nloops) {
   return cov;
 }
 
-TEST(JitSource, GeneratesListing2ShapedCode) {
+TEST(JitSource, GeneratesPoolDispatchableEntry) {
+  // The generated entry is called once per team member inside a
+  // plt::parallel_region: no OpenMP directives, explicit (tid, nthreads)
+  // partitioning of the collapse group's flat range.
   std::vector<LoopSpecs> loops = {LoopSpecs{0, 8, 1, {}},
                                   LoopSpecs{0, 16, 2, {8, 4}},
                                   LoopSpecs{0, 12, 3, {6}}};
   LoopNestPlan plan(loops, "bcaBCb");
   const std::string src = JitLoop::generate_source(plan);
-  EXPECT_NE(src.find("#pragma omp parallel"), std::string::npos);
-  EXPECT_NE(src.find("#pragma omp for collapse(2)"), std::string::npos);
-  EXPECT_NE(src.find("nowait"), std::string::npos);
-  EXPECT_NE(src.find("plt_jit_entry"), std::string::npos);
+  EXPECT_EQ(src.find("#pragma"), std::string::npos);
+  EXPECT_NE(src.find("plt_jit_entry(const PltJitArgs* a, std::int64_t plt_tid, "
+                     "std::int64_t plt_nth)"),
+            std::string::npos);
+  EXPECT_NE(src.find("plt_per"), std::string::npos);  // static block partition
   EXPECT_NE(src.find("a->body(a->body_ctx, ind);"), std::string::npos);
 }
 
-TEST(JitSource, DirectiveSuffixEmitted) {
+TEST(JitSource, DynamicScheduleEmitsCyclicChunks) {
   std::vector<LoopSpecs> loops = {LoopSpecs{0, 8, 1, {}}};
   LoopNestPlan plan(loops, "A @ schedule(dynamic,1)");
   const std::string src = JitLoop::generate_source(plan);
-  EXPECT_NE(src.find("#pragma omp for schedule(dynamic,1) nowait"),
-            std::string::npos);
+  // The interpreter's deterministic cyclic-chunk emulation, not an omp-for.
+  EXPECT_NE(src.find("plt_blk += plt_nth"), std::string::npos);
+  EXPECT_EQ(src.find("#pragma"), std::string::npos);
 }
 
-TEST(JitSource, SerialSpecHasNoParallelRegion) {
+TEST(JitSource, BarrierRoutedThroughHostCallback) {
+  std::vector<LoopSpecs> loops = {LoopSpecs{0, 8, 1, {}},
+                                  LoopSpecs{0, 8, 1, {}}};
+  LoopNestPlan plan(loops, "A|b");
+  const std::string src = JitLoop::generate_source(plan);
+  EXPECT_NE(src.find("a->barrier(a->barrier_ctx)"), std::string::npos);
+}
+
+TEST(JitSource, SerialSpecHasNoPartitioning) {
   std::vector<LoopSpecs> loops = {LoopSpecs{0, 8, 1, {}}};
   LoopNestPlan plan(loops, "a");
   const std::string src = JitLoop::generate_source(plan);
-  EXPECT_EQ(src.find("#pragma omp parallel"), std::string::npos);
+  EXPECT_EQ(src.find("plt_per"), std::string::npos);
+  EXPECT_EQ(src.find("#pragma"), std::string::npos);
 }
 
 class JitVsInterpreterP : public ::testing::TestWithParam<const char*> {};

@@ -1,0 +1,382 @@
+// Serving-layer tests: MPMC admission queue accounting under producer/
+// consumer storms, registry lookup, micro-batch determinism (batched
+// execution bitwise-identical to sequential per-request execution),
+// deadline/batch-size boundary cases, graceful shutdown with in-flight
+// requests, and concurrent mixed-model traffic. Designed to run TSan-clean
+// (the CI thread-sanitizer job runs this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+#include "common/threading.hpp"
+#include "serving/model_registry.hpp"
+#include "serving/scheduler.hpp"
+#include "serving/session.hpp"
+
+namespace plt::serving {
+namespace {
+
+MlpServeConfig tiny_mlp() {
+  MlpServeConfig c;
+  c.features = 32;
+  c.layers = 2;
+  c.tokens = 8;
+  c.bm = c.bn = c.bk = 8;
+  return c;
+}
+
+dl::BertConfig tiny_bert() {
+  dl::BertConfig c;
+  c.hidden = 32;
+  c.heads = 2;
+  c.intermediate = 64;
+  c.layers = 1;
+  c.seq_len = 8;
+  c.batch = 1;
+  c.bm = c.bn = c.bk = 8;
+  return c;
+}
+
+dl::LlmConfig tiny_llm() {
+  dl::LlmConfig c;
+  c.hidden = 32;
+  c.heads = 2;
+  c.layers = 1;
+  c.ffn = 64;
+  c.vocab = 64;
+  c.max_seq = 32;
+  c.bm = c.bn = c.bk = 8;
+  return c;
+}
+
+std::vector<float> make_input(const Session& s, std::uint64_t seed) {
+  std::vector<float> in(static_cast<std::size_t>(s.input_elems()));
+  Xoshiro256 rng(seed);
+  fill_uniform(in.data(), in.size(), rng, -1.0f, 1.0f);
+  return in;
+}
+
+// --- MPMC queue -------------------------------------------------------------
+
+TEST(MpmcQueue, FifoWithinSingleProducer) {
+  common::MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(MpmcQueue, FullQueueRejectsPush) {
+  common::MpmcQueue<int> q(4);  // rounded to capacity 4
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  int v = -1;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_TRUE(q.try_push(99));  // slot freed
+}
+
+TEST(MpmcQueue, StormAccountsEveryItem) {
+  // N producers push disjoint ranges, M consumers drain: every value must
+  // arrive exactly once (sum check) with no loss under contention.
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 2000;
+  common::MpmcQueue<std::int64_t> q(64);
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> popped{0};
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::int64_t v;
+      while (popped.load(std::memory_order_acquire) < kTotal) {
+        if (q.try_pop(v)) {
+          sum.fetch_add(v, std::memory_order_relaxed);
+          popped.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::int64_t v = static_cast<std::int64_t>(p) * kPerProducer + i;
+        while (!q.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(),
+            static_cast<std::int64_t>(kTotal) * (kTotal - 1) / 2);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(ModelRegistry, AddAndFind) {
+  ModelRegistry reg;
+  auto mlp = make_mlp_session("mlp_reg", tiny_mlp(), /*lanes=*/2, 7);
+  reg.add(mlp);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.find("mlp_reg"), mlp);
+  EXPECT_EQ(reg.find("nope"), nullptr);
+  EXPECT_THROW(reg.add(make_mlp_session("mlp_reg", tiny_mlp(), 1, 7)),
+               std::invalid_argument);
+}
+
+// --- sessions ---------------------------------------------------------------
+
+TEST(Session, LanesAreBitwiseIdenticalReplicas) {
+  auto s = make_mlp_session("mlp_lanes", tiny_mlp(), /*lanes=*/3, 21);
+  const auto in = make_input(*s, 5);
+  std::vector<std::vector<float>> outs;
+  for (int lane = 0; lane < s->lanes(); ++lane) {
+    std::vector<float> out(static_cast<std::size_t>(s->output_elems()));
+    s->run(lane, in.data(), out.data());
+    outs.push_back(std::move(out));
+  }
+  for (int lane = 1; lane < s->lanes(); ++lane) {
+    EXPECT_EQ(0, std::memcmp(outs[0].data(),
+                             outs[static_cast<std::size_t>(lane)].data(),
+                             outs[0].size() * sizeof(float)))
+        << "lane " << lane;
+  }
+}
+
+// --- scheduler: determinism -------------------------------------------------
+
+// Batched execution must be bitwise-identical to sequential per-request
+// execution for every model family the serving layer hosts.
+TEST(Scheduler, BatchedMatchesSequentialBitwise) {
+  std::vector<std::shared_ptr<Session>> sessions = {
+      make_mlp_session("mlp_det", tiny_mlp(), /*lanes=*/4, 11),
+      make_bert_session("bert_det", tiny_bert(), /*lanes=*/4, 12),
+      make_llm_session("llm_det", tiny_llm(), /*prompt=*/4, /*gen=*/2,
+                       /*lanes=*/4, 13),
+  };
+  constexpr int kPerModel = 8;
+
+  for (auto& s : sessions) {
+    std::vector<std::vector<float>> ins, want, got;
+    for (int i = 0; i < kPerModel; ++i) {
+      ins.push_back(make_input(*s, 100 + static_cast<std::uint64_t>(i)));
+      want.emplace_back(static_cast<std::size_t>(s->output_elems()));
+      got.emplace_back(static_cast<std::size_t>(s->output_elems()));
+    }
+    // Sequential reference: one request at a time, lane 0, parallel nests.
+    for (int i = 0; i < kPerModel; ++i) {
+      s->run(0, ins[static_cast<std::size_t>(i)].data(),
+             want[static_cast<std::size_t>(i)].data());
+    }
+
+    SchedulerConfig cfg;
+    cfg.max_batch = 4;
+    cfg.batch_usecs = 1000;
+    RequestScheduler sched(cfg);
+    std::vector<RequestHandle> handles;
+    for (int i = 0; i < kPerModel; ++i) {
+      handles.push_back(sched.submit(s, ins[static_cast<std::size_t>(i)].data(),
+                                     got[static_cast<std::size_t>(i)].data()));
+    }
+    for (auto& h : handles) {
+      ASSERT_TRUE(h.ok());
+      h.wait();
+      EXPECT_TRUE(h.done());
+      EXPECT_GT(h.latency_us(), 0.0);
+    }
+    for (int i = 0; i < kPerModel; ++i) {
+      EXPECT_EQ(0, std::memcmp(want[static_cast<std::size_t>(i)].data(),
+                               got[static_cast<std::size_t>(i)].data(),
+                               want[static_cast<std::size_t>(i)].size() *
+                                   sizeof(float)))
+          << s->name() << " request " << i;
+    }
+  }
+}
+
+// --- scheduler: batching boundaries -----------------------------------------
+
+TEST(Scheduler, MaxBatchOneDegradesToSequentialServing) {
+  auto s = make_mlp_session("mlp_b1", tiny_mlp(), /*lanes=*/2, 31);
+  SchedulerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_usecs = 0;
+  RequestScheduler sched(cfg);
+  const auto in = make_input(*s, 3);
+  std::vector<float> want(static_cast<std::size_t>(s->output_elems()));
+  s->run(0, in.data(), want.data());
+  for (int i = 0; i < 6; ++i) {
+    std::vector<float> out(static_cast<std::size_t>(s->output_elems()));
+    auto h = sched.submit(s, in.data(), out.data());
+    h.wait();
+    EXPECT_EQ(0, std::memcmp(want.data(), out.data(),
+                             want.size() * sizeof(float)));
+  }
+  const auto stats = sched.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].requests, 6u);
+  EXPECT_EQ(stats[0].batches, 6u);  // every batch has exactly one request
+}
+
+TEST(Scheduler, ZeroDeadlineFlushesImmediately) {
+  auto s = make_mlp_session("mlp_dl0", tiny_mlp(), /*lanes=*/4, 32);
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_usecs = 0;  // a partial batch never waits
+  RequestScheduler sched(cfg);
+  const auto in = make_input(*s, 4);
+  std::vector<float> out(static_cast<std::size_t>(s->output_elems()));
+  auto h = sched.submit(s, in.data(), out.data());
+  h.wait();  // must complete without three more requests arriving
+  EXPECT_TRUE(h.done());
+}
+
+TEST(Scheduler, BatchNeverExceedsSessionLanes) {
+  auto s = make_mlp_session("mlp_lim", tiny_mlp(), /*lanes=*/2, 33);
+  SchedulerConfig cfg;
+  cfg.max_batch = 16;  // more than the session can run concurrently
+  cfg.batch_usecs = 500;
+  RequestScheduler sched(cfg);
+  const auto in = make_input(*s, 5);
+  constexpr int kReqs = 12;
+  std::vector<std::vector<float>> outs(
+      kReqs, std::vector<float>(static_cast<std::size_t>(s->output_elems())));
+  std::vector<RequestHandle> handles;
+  for (int i = 0; i < kReqs; ++i) {
+    handles.push_back(
+        sched.submit(s, in.data(), outs[static_cast<std::size_t>(i)].data()));
+  }
+  for (auto& h : handles) h.wait();
+  const auto stats = sched.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].requests, static_cast<std::uint64_t>(kReqs));
+  EXPECT_LE(stats[0].mean_batch(), 2.0);  // clamped to lanes()
+}
+
+TEST(Scheduler, TinyQueueAppliesBackpressureWithoutLoss) {
+  auto s = make_mlp_session("mlp_bp", tiny_mlp(), /*lanes=*/2, 34);
+  SchedulerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.batch_usecs = 0;
+  cfg.queue_capacity = 2;  // submit must block-and-retry, never drop
+  RequestScheduler sched(cfg);
+  const auto in = make_input(*s, 6);
+  constexpr int kReqs = 32;
+  std::vector<std::vector<float>> outs(
+      kReqs, std::vector<float>(static_cast<std::size_t>(s->output_elems())));
+  std::vector<RequestHandle> handles;
+  for (int i = 0; i < kReqs; ++i) {
+    handles.push_back(
+        sched.submit(s, in.data(), outs[static_cast<std::size_t>(i)].data()));
+  }
+  for (auto& h : handles) {
+    h.wait();
+    EXPECT_TRUE(h.done());
+  }
+  const auto stats = sched.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].requests, static_cast<std::uint64_t>(kReqs));
+}
+
+// --- scheduler: shutdown ----------------------------------------------------
+
+TEST(Scheduler, GracefulShutdownDrainsInFlightRequests) {
+  auto s = make_mlp_session("mlp_shut", tiny_mlp(), /*lanes=*/4, 35);
+  const auto in = make_input(*s, 7);
+  std::vector<float> want(static_cast<std::size_t>(s->output_elems()));
+  s->run(0, in.data(), want.data());
+
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_usecs = 50000;  // long deadline: shutdown must not wait it out
+  RequestScheduler sched(cfg);
+  constexpr int kReqs = 10;
+  std::vector<std::vector<float>> outs(
+      kReqs, std::vector<float>(static_cast<std::size_t>(s->output_elems())));
+  std::vector<RequestHandle> handles;
+  for (int i = 0; i < kReqs; ++i) {
+    handles.push_back(
+        sched.submit(s, in.data(), outs[static_cast<std::size_t>(i)].data()));
+  }
+  sched.shutdown();  // every accepted request must have completed
+  for (int i = 0; i < kReqs; ++i) {
+    EXPECT_TRUE(handles[static_cast<std::size_t>(i)].done());
+    EXPECT_EQ(0, std::memcmp(want.data(),
+                             outs[static_cast<std::size_t>(i)].data(),
+                             want.size() * sizeof(float)));
+  }
+  // Admission is closed after shutdown.
+  std::vector<float> out(static_cast<std::size_t>(s->output_elems()));
+  auto rejected = sched.submit(s, in.data(), out.data());
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.done());  // a rejected handle is trivially done
+}
+
+// --- scheduler: concurrent mixed traffic -------------------------------------
+
+TEST(Scheduler, ConcurrentProducersAcrossModels) {
+  // N producer threads x M models, all in flight at once; every request
+  // must complete with the bitwise-correct result. This is the test the CI
+  // ThreadSanitizer job leans on.
+  std::vector<std::shared_ptr<Session>> sessions = {
+      make_mlp_session("mlp_mix", tiny_mlp(), /*lanes=*/4, 41),
+      make_bert_session("bert_mix", tiny_bert(), /*lanes=*/4, 42),
+      make_llm_session("llm_mix", tiny_llm(), 4, 2, /*lanes=*/4, 43),
+  };
+  constexpr int kProducers = 4, kPerProducer = 12;
+
+  // Reference outputs for one shared input per model.
+  std::vector<std::vector<float>> ins, want;
+  for (auto& s : sessions) {
+    ins.push_back(make_input(*s, 50));
+    want.emplace_back(static_cast<std::size_t>(s->output_elems()));
+    s->run(0, ins.back().data(), want.back().data());
+  }
+
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_usecs = 200;
+  RequestScheduler sched(cfg);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::size_t m =
+            static_cast<std::size_t>(p + i) % sessions.size();
+        std::vector<float> out(
+            static_cast<std::size_t>(sessions[m]->output_elems()));
+        auto h = sched.submit(sessions[m], ins[m].data(), out.data());
+        ASSERT_TRUE(h.ok());
+        h.wait();
+        if (std::memcmp(want[m].data(), out.data(),
+                        want[m].size() * sizeof(float)) != 0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  std::uint64_t total = 0;
+  for (const auto& st : sched.stats()) {
+    total += st.requests;
+    EXPECT_GE(st.pending_highwater, 1u);
+    EXPECT_GT(st.mean_latency_us(), 0.0);
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_GE(sched.queue_depth_highwater(), 1u);
+}
+
+}  // namespace
+}  // namespace plt::serving
