@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
   // respawn (Section II-B).
   bench::print_header("Small-nest dispatch overhead (ns/invocation)");
   bench::report_dispatch_overhead(json, smoke ? 2000 : 20000);
+  bench::report_pool_stats(json);
 
   std::printf("\nexpected shape: PARLOOPER >= library substitute; bf16 >= fp32 "
               "on machines with bf16 acceleration.\n");

@@ -6,10 +6,15 @@
 // Emits BENCH_serving.json with:
 //   serving_naive_throughput / serving_scheduler_throughput  (req/s + ns/req)
 //   serving_speedup                                          (ratio)
+//   serving_sharded_* per-partition sharded-scheduler rows (one admission
+//     queue + dispatcher per pool partition, sessions pinned to partitions,
+//     idle-shard work stealing) and serving_sharded_vs_single (ratio)
 //   serve_<model>_* per-model latency/throughput/queue-depth stats
-// bench/check_overhead.py --serving gates the speedup in CI (>= 1.5x), and
-// this binary exits non-zero if batched results are not bitwise-identical
-// to sequential per-request execution.
+//   pool_* ThreadPool::stats() dispatch/steal counters
+// bench/check_overhead.py --serving gates the scheduler-vs-naive speedup in
+// CI (>= 1.5x); --partitioned gates sharded-vs-single (>= 1.3x with
+// PLT_POOL_PARTITIONS=2). This binary exits non-zero if batched results are
+// not bitwise-identical to sequential execution — sharded or not.
 #include <algorithm>
 #include <cstring>
 #include <thread>
@@ -222,8 +227,12 @@ int main(int argc, char** argv) {
   json.add_value("serving_naive_req_per_sec", naive_rps, "req_per_sec",
                  naive_label);
 
-  // Scheduler: micro-batched onto the persistent pool.
-  serving::RequestScheduler sched(cfg);
+  // Scheduler, single shard: one queue, one dispatcher, whole-team batches —
+  // the PR 3 layout, kept as the sharding baseline and the serving_scheduler
+  // rows' meaning across PRs.
+  serving::SchedulerConfig single_cfg = cfg;
+  single_cfg.shards = 1;
+  serving::RequestScheduler sched(single_cfg);
   RequestBuffers batched = make_buffers(w);
   run_scheduled(w, batched, sched, producers);  // warmup
   double sched_s = 1e300;
@@ -233,7 +242,7 @@ int main(int argc, char** argv) {
   sched.shutdown();
   const double sched_rps = requests / sched_s;
   std::printf("%-28s %10.1f req/s  (%8.1f us/req)\n",
-              "scheduler (pool, batched)", sched_rps,
+              "scheduler (pool, 1 shard)", sched_rps,
               1e6 * sched_s / requests);
   json.add("serving_scheduler_throughput", 0.0, 1e9 * sched_s / requests,
            "pool");
@@ -243,6 +252,48 @@ int main(int argc, char** argv) {
   const double speedup = naive_s / sched_s;
   std::printf("scheduler vs naive speedup: %.2fx\n", speedup);
   json.add_value("serving_speedup", speedup, "ratio");
+
+  // Sharded scheduler: one admission queue + dispatcher per pool partition,
+  // sessions pinned so each partition serves the models whose weights it
+  // first-touched, idle shards steal. With 1 partition this collapses to the
+  // single-shard layout (the rows then just mirror the baseline).
+  const int nparts = ThreadPool::instance().partitions();
+  // Pin to balance the 2:1:1 llm:bert:mlp tape: llm (half the traffic) gets
+  // partition 0 to itself; bert + mlp share the next partition.
+  w.sessions[2]->pin_partition(0);
+  w.sessions[1]->pin_partition(1 % nparts);
+  w.sessions[0]->pin_partition(1 % nparts);
+  serving::SchedulerConfig sharded_cfg = cfg;
+  sharded_cfg.shards = 0;  // auto: one shard per partition
+  serving::RequestScheduler sharded(sharded_cfg);
+  RequestBuffers shard_out = make_buffers(w);
+  run_scheduled(w, shard_out, sharded, producers);  // warmup
+  double sharded_s = 1e300;
+  for (int it = 0; it < iters; ++it) {
+    sharded_s =
+        std::min(sharded_s, run_scheduled(w, shard_out, sharded, producers));
+  }
+  std::uint64_t total_steals = 0;
+  for (int s = 0; s < sharded.shard_count(); ++s) {
+    total_steals += sharded.steals(s);
+  }
+  sharded.shutdown();
+  const double sharded_rps = requests / sharded_s;
+  std::printf("%-28s %10.1f req/s  (%8.1f us/req, %d shards, %llu stolen)\n",
+              "scheduler (pool, sharded)", sharded_rps,
+              1e6 * sharded_s / requests, sharded.shard_count(),
+              static_cast<unsigned long long>(total_steals));
+  json.add("serving_sharded_throughput", 0.0, 1e9 * sharded_s / requests,
+           "pool");
+  json.add_value("serving_sharded_req_per_sec", sharded_rps, "req_per_sec",
+                 "pool");
+  json.add_value("serving_sharded_shards",
+                 static_cast<double>(sharded.shard_count()), "count");
+  json.add_value("serving_sharded_steals", static_cast<double>(total_steals),
+                 "requests");
+  const double sharded_vs_single = sched_s / sharded_s;
+  std::printf("sharded vs single-shard scheduler: %.2fx\n", sharded_vs_single);
+  json.add_value("serving_sharded_vs_single", sharded_vs_single, "ratio");
 
   // Per-model serving stats.
   std::vector<int> tape_count(w.sessions.size(), 0);
@@ -278,21 +329,28 @@ int main(int argc, char** argv) {
   json.add_value("serving_queue_depth_highwater",
                  static_cast<double>(sched.queue_depth_highwater()),
                  "requests");
+  bench::report_pool_stats(json);
 
-  // Determinism gate: batched == sequential, byte for byte, per request.
-  int bad = 0;
+  // Determinism gate: batched == sequential, byte for byte, per request —
+  // for the single-shard and the sharded (work-stealing) layouts alike.
+  int bad = 0, bad_sharded = 0;
   for (std::size_t i = 0; i < w.tape.size(); ++i) {
     if (std::memcmp(ref.outs[i].data(), batched.outs[i].data(),
                     ref.outs[i].size() * sizeof(float)) != 0) {
       ++bad;
     }
+    if (std::memcmp(ref.outs[i].data(), shard_out.outs[i].data(),
+                    ref.outs[i].size() * sizeof(float)) != 0) {
+      ++bad_sharded;
+    }
   }
-  if (bad != 0) {
-    std::printf("\nFAIL: %d/%d batched results differ from sequential "
-                "execution\n", bad, requests);
+  if (bad != 0 || bad_sharded != 0) {
+    std::printf("\nFAIL: %d/%d batched and %d/%d sharded results differ "
+                "from sequential execution\n", bad, requests, bad_sharded,
+                requests);
     return 1;
   }
-  std::printf("\nbatched results bitwise-identical to sequential execution "
-              "(%d requests) OK\n", requests);
+  std::printf("\nbatched + sharded results bitwise-identical to sequential "
+              "execution (%d requests) OK\n", requests);
   return 0;
 }

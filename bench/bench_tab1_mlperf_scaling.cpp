@@ -4,6 +4,9 @@
 // single-socket training step built on the PARLOOPER/TPP encoder and applies
 // a strong-scaling model (92%/86% efficiency at 8/16 nodes — typical
 // all-reduce-dominated BERT scaling) to a fixed sample budget.
+// BENCH_tab1_mlperf_scaling.json rows carry a _p<N> suffix (N = active pool
+// partition count), so the CI matrix legs (1 vs 2 partitions) land in
+// distinct rows and the partition-scaling trajectory is tracked per PR.
 #include "bench/bench_util.hpp"
 #include "dl/bert.hpp"
 
@@ -45,16 +48,24 @@ int main(int argc, char** argv) {
     int sockets;
     double efficiency;
   };
+  bench::JsonReporter json("tab1_mlperf_scaling");
+  const std::string psuf = bench::partition_suffix();
   bench::print_header("Table I — BERT time-to-train (strong-scaling model "
                       "over the measured socket rate)");
   std::printf("measured single-socket rate: %.2f seq/s (step %.1f ms)\n",
               seq_per_sec_socket, step_s * 1e3);
+  json.add_value("tab1_bert_socket_rate" + psuf, seq_per_sec_socket,
+                 "seq_per_sec");
+  json.add_value("tab1_bert_step" + psuf, step_s * 1e3, "ms");
   std::printf("%-26s %16s\n", "system", "time-to-train (min)");
   for (const Row& r : {Row{"8 nodes (16 sockets)", 16, 0.92},
                        Row{"16 nodes (32 sockets)", 32, 0.86}}) {
     const double rate = seq_per_sec_socket * r.sockets * r.efficiency;
     std::printf("%-26s %16.2f\n", r.system, samples / rate / 60.0);
+    json.add_value("tab1_ttt_" + std::to_string(r.sockets) + "sockets" + psuf,
+                   samples / rate / 60.0, "min");
   }
+  bench::report_pool_stats(json);
   std::printf("\nexpected shape: 16 nodes ~1.8x faster than 8 nodes "
               "(paper: 85.91 -> 47.26 min, a 1.82x ratio).\n");
   return 0;

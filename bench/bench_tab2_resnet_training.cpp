@@ -4,6 +4,9 @@
 // convolutional nets (dgrad + wgrad each cost about one forward), as
 // documented in DESIGN.md. Both fp32 and bf16 paths are reported; the paper
 // compares SPR vs GVT3 and lands within 4% of the vendor stack.
+// BENCH_tab2_resnet_training.json rows carry a _p<N> suffix (N = active pool
+// partition count), so the CI matrix legs (1 vs 2 partitions) land in
+// distinct rows and the partition-scaling trajectory is tracked per PR.
 #include "bench/bench_util.hpp"
 #include "dl/resnet.hpp"
 
@@ -16,6 +19,8 @@ int main(int argc, char** argv) {
   cfg.image = full ? 224 : 64;
   cfg.channel_scale = full ? 1 : 4;
 
+  bench::JsonReporter json("tab2_resnet_training");
+  const std::string psuf = bench::partition_suffix();
   bench::print_header("Table II — ResNet-50 training throughput (images/sec)");
   std::printf("%-8s %14s %14s %20s\n", "dtype", "fwd img/s", "train img/s",
               "(fwd / 3 — fwd:bwd=1:2)");
@@ -35,7 +40,12 @@ int main(int argc, char** argv) {
     std::printf("%-8s %14.2f %14.2f   (model flops %.2f GF/img)\n",
                 dt == DType::F32 ? "fp32" : "bf16", fwd_ips, fwd_ips / 3.0,
                 model.forward_flops() / 1e9 / cfg.N);
+    const std::string dts = dt == DType::F32 ? "fp32" : "bf16";
+    json.add_value("tab2_resnet_fwd_" + dts + psuf, fwd_ips, "img_per_sec");
+    json.add_value("tab2_resnet_train_" + dts + psuf, fwd_ips / 3.0,
+                   "img_per_sec");
   }
+  bench::report_pool_stats(json);
   std::printf("\nexpected shape: bf16 >= fp32 when bf16 hardware exists; the "
               "paper's SPR/GVT3 gap (1.76x) comes from the compute-peak "
               "difference the perf model captures.\n");

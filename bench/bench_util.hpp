@@ -110,6 +110,40 @@ class JsonReporter {
   std::vector<Record> records_;
 };
 
+// Row-name suffix identifying the active pool partition count ("_p1",
+// "_p2", ...), so the same bench's JSON rows from different CI matrix legs
+// stay distinct and the partition-scaling trajectory is trackable.
+inline std::string partition_suffix() {
+  return "_p" + std::to_string(pool_partitions());
+}
+
+// Records a ThreadPool::stats() snapshot of the process-wide pool into the
+// bench JSON: partition layout, whole-team regions, serial degradations
+// (nested nests and lost dispatch races — by design the common case inside
+// batched serving), completed barrier episodes, and per-partition run_on /
+// steal counters. No-op under non-pool runtimes (there is no pool to read).
+inline void report_pool_stats(JsonReporter& json) {
+  if (runtime() != Runtime::kPool) return;
+  ThreadPool& pool = ThreadPool::instance();
+  const ThreadPool::Stats s = pool.stats();
+  json.add_value("pool_partitions", pool.partitions(), "count", "pool");
+  json.add_value("pool_team_regions", static_cast<double>(s.team_regions),
+                 "count", "pool");
+  json.add_value("pool_serial_degradations",
+                 static_cast<double>(s.serial_degradations), "count", "pool");
+  json.add_value("pool_barrier_epochs",
+                 static_cast<double>(s.barrier_epochs), "count", "pool");
+  for (std::size_t p = 0; p < s.partition.size(); ++p) {
+    const std::string prefix = "pool_partition" + std::to_string(p);
+    json.add_value(prefix + "_regions",
+                   static_cast<double>(s.partition[p].regions), "count",
+                   "pool");
+    json.add_value(prefix + "_steals",
+                   static_cast<double>(s.partition[p].steals), "count",
+                   "pool");
+  }
+}
+
 // Per-invocation dispatch overhead of a small PARLOOPER nest (the runtime's
 // fixed cost: region entry, schedule lookup, body walk) in nanoseconds. The
 // tiny body keeps the work negligible, so the number isolates what the

@@ -10,6 +10,13 @@ Serving mode — micro-batching scheduler throughput:
     check_overhead.py --serving BENCH_serving.json [min_ratio]
   The scheduler (batched, persistent pool) must beat naive per-request
   dispatch by >= min_ratio (default 1.5) on the mixed-model workload.
+
+Partitioned mode — sharded serving on the partitioned pool:
+    check_overhead.py --partitioned BENCH_serving.json [min_ratio]
+  The sharded scheduler (one queue + dispatcher per pool partition, pinned
+  sessions, idle-shard stealing) must beat the single-shard scheduler by
+  >= min_ratio (default 1.3). Run with PLT_POOL_PARTITIONS=2; the gate is
+  skipped when the bench recorded fewer than 2 shards (nothing to compare).
 """
 import json
 import sys
@@ -58,15 +65,47 @@ def check_serving(path: str, min_ratio: float) -> int:
     return 0
 
 
+def check_partitioned(path: str, min_ratio: float) -> int:
+    with open(path) as f:
+        data = json.load(f)
+    values = {r["name"]: r.get("value") for r in data["records"]}
+    shards = values.get("serving_sharded_shards")
+    ratio = values.get("serving_sharded_vs_single")
+    single = values.get("serving_scheduler_req_per_sec")
+    sharded = values.get("serving_sharded_req_per_sec")
+    if shards is None or ratio is None:
+        print(f"missing sharded-serving records in {path}: {sorted(values)}")
+        return 1
+    if shards < 2:
+        print(f"pool ran with {int(shards)} shard(s); sharded == single "
+              "layout, gate skipped (set PLT_POOL_PARTITIONS=2)")
+        return 0
+    print(f"single-shard={single:.1f} req/s sharded={sharded:.1f} req/s "
+          f"({int(shards)} shards) ratio={ratio:.2f}x "
+          f"(required >= {min_ratio}x)")
+    if ratio < min_ratio:
+        print("FAIL: per-partition sharding lost its advantage over the "
+              "single-shard scheduler")
+        return 1
+    return 0
+
+
 def main() -> int:
     args = sys.argv[1:]
     serving = "--serving" in args
     if serving:
         args.remove("--serving")
+    partitioned = "--partitioned" in args
+    if partitioned:
+        args.remove("--partitioned")
     if serving:
         path = args[0] if args else "BENCH_serving.json"
         min_ratio = float(args[1]) if len(args) > 1 else 1.5
         return check_serving(path, min_ratio)
+    if partitioned:
+        path = args[0] if args else "BENCH_serving.json"
+        min_ratio = float(args[1]) if len(args) > 1 else 1.3
+        return check_partitioned(path, min_ratio)
     path = args[0] if args else "BENCH_micro_tpp.json"
     min_ratio = float(args[1]) if len(args) > 1 else 1.3
     return check_dispatch(path, min_ratio)

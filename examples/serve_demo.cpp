@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "serving/model_registry.hpp"
 #include "serving/scheduler.hpp"
@@ -59,6 +60,13 @@ int main(int argc, char** argv) {
 
   serving::RequestScheduler scheduler(cfg);
   const auto sessions = registry.sessions();
+  std::printf("pool: %d threads, %d partitions; scheduler: %d shard(s)\n",
+              ThreadPool::instance().size(),
+              ThreadPool::instance().partitions(), scheduler.shard_count());
+  for (const auto& s : sessions) {
+    std::printf("  %-6s -> partition %d\n", s->name().c_str(),
+                s->partition());
+  }
 
   constexpr int kClients = 4;
   std::atomic<bool> stop{false};

@@ -1,6 +1,10 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "common/env.hpp"
+#include "common/log.hpp"
+#include "common/topology.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -25,17 +29,32 @@ namespace {
 // team (more threads than cores) converges quickly to yield-based waiting.
 constexpr int kSpinIters = 1 << 12;
 
-void pin_to_core(int tid) {
+void pin_to_core(int core) {
 #if defined(__linux__)
-  const unsigned cores = std::thread::hardware_concurrency();
-  if (cores == 0) return;
+  if (core < 0) return;
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(static_cast<unsigned>(tid) % cores, &set);
+  CPU_SET(static_cast<unsigned>(core), &set);
   ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set);
 #else
-  (void)tid;
+  (void)core;
 #endif
+}
+
+// Cores the process is actually allowed to run on (sorted). Empty when the
+// platform offers no affinity introspection.
+std::vector<int> allowed_cores() {
+  std::vector<int> cores;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (::sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &set)) cores.push_back(c);
+    }
+  }
+#endif
+  return cores;
 }
 
 bool pinning_enabled() {
@@ -52,81 +71,268 @@ RegionContext& region_context() {
 }
 }  // namespace detail
 
-ThreadPool::ThreadPool(int nthreads, bool pin)
+ThreadPool::ThreadPool(int nthreads, bool pin, int partitions)
     : nthreads_(nthreads < 1 ? 1 : nthreads), pin_(pin) {
-  slots_.resize(static_cast<std::size_t>(nthreads_));
+  const common::Topology topo = common::Topology::detect();
+  if (partitions > nthreads_) {
+    PLT_LOG_WARN << "pool: " << partitions << " partitions requested for a "
+                 << nthreads_ << "-thread team; clamping to " << nthreads_;
+  }
+  nparts_ = partitions > 0 ? partitions : static_cast<int>(topo.nodes.size());
+  nparts_ = std::max(1, std::min(nparts_, nthreads_));
+
+  // Contiguous, balanced sub-teams: partition p holds global tids
+  // [first, first + count). The split is a pure function of (nthreads,
+  // nparts), independent of the machine.
+  parts_.reserve(static_cast<std::size_t>(nparts_));
+  part_of_.assign(static_cast<std::size_t>(nthreads_), 0);
+  local_of_.assign(static_cast<std::size_t>(nthreads_), 0);
+  const int base = nthreads_ / nparts_, rem = nthreads_ % nparts_;
+  int first = 0;
+  for (int p = 0; p < nparts_; ++p) {
+    auto part = std::make_unique<Partition>();
+    part->first = first;
+    part->count = base + (p < rem ? 1 : 0);
+    for (int l = 0; l < part->count; ++l) {
+      part_of_[static_cast<std::size_t>(first + l)] = p;
+      local_of_[static_cast<std::size_t>(first + l)] = l;
+    }
+    first += part->count;
+    parts_.push_back(std::move(part));
+  }
+
+  // Pin plan: partition p's members bind to its node's cores, filtered by
+  // the process affinity mask; the 1-partition fallback binds by the
+  // enumerated online-core list (not `i % hardware_concurrency`, which
+  // ignores offline/forbidden cores). If the mask holds fewer cores than
+  // the team, pinning is skipped entirely — stacking a whole team onto a
+  // restricted mask would serialize it behind the scheduler.
+  if (pin_ && pinning_enabled()) {
+    const std::vector<int> allowed = allowed_cores();
+    if (static_cast<int>(allowed.size()) < nthreads_) {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        PLT_LOG_WARN << "pool: affinity mask has " << allowed.size()
+                     << " cores for a " << nthreads_
+                     << "-thread team; skipping thread pinning";
+      }
+    } else {
+      // Node -> partition mapping. With at least as many partitions as
+      // nodes, partition p lives on node p % nodes, and co-located
+      // partitions slice that node's cores via a per-node cursor (two
+      // sub-teams meant to run concurrently must not time-share the node's
+      // leading cores). With FEWER partitions than nodes, each partition
+      // takes a contiguous node range so the whole machine stays in use —
+      // the 1-partition case degenerates to the full enumerated online-core
+      // list. Partitions whose node cores fall outside the affinity mask
+      // (mocked/foreign topology) share a cursor over the allowed list, so
+      // their slices stay disjoint too.
+      const std::size_t nnodes = topo.nodes.size();
+      std::vector<std::size_t> node_cursor(nnodes, 0);
+      // Fallback assignment (partition's node cores all outside the mask)
+      // must not collide with cores that node-based partitions pin —
+      // stacking two sub-teams onto one core slice serializes exactly the
+      // regions run_on() exists to run concurrently. Node-based partitions
+      // are therefore assigned FIRST (marking their cores), and fallback
+      // partitions then draw from whatever remains.
+      std::vector<bool> core_taken(allowed.size(), false);
+      const auto mark_taken = [&](int core) {
+        const auto it =
+            std::lower_bound(allowed.begin(), allowed.end(), core);
+        if (it != allowed.end() && *it == core) {
+          core_taken[static_cast<std::size_t>(it - allowed.begin())] = true;
+        }
+      };
+      std::size_t allowed_cursor = 0;
+      const auto next_free_core = [&]() -> int {
+        for (std::size_t i = 0; i < allowed.size(); ++i) {
+          const std::size_t idx = (allowed_cursor + i) % allowed.size();
+          if (!core_taken[idx]) {
+            allowed_cursor = idx + 1;
+            core_taken[idx] = true;
+            return allowed[idx];
+          }
+        }
+        // Every allowed core already has an owner: round-robin the overflow.
+        return allowed[allowed_cursor++ % allowed.size()];
+      };
+      // Pass 1: per-partition mask-filtered core lists from the node map.
+      std::vector<std::vector<int>> part_cores(
+          static_cast<std::size_t>(nparts_));
+      std::vector<std::size_t> part_node(static_cast<std::size_t>(nparts_),
+                                         0);
+      for (int p = 0; p < nparts_; ++p) {
+        std::vector<std::size_t> node_idxs;
+        if (static_cast<std::size_t>(nparts_) >= nnodes) {
+          node_idxs.push_back(static_cast<std::size_t>(p) % nnodes);
+        } else {
+          const std::size_t lo =
+              static_cast<std::size_t>(p) * nnodes /
+              static_cast<std::size_t>(nparts_);
+          const std::size_t hi =
+              (static_cast<std::size_t>(p) + 1) * nnodes /
+              static_cast<std::size_t>(nparts_);
+          for (std::size_t n = lo; n < hi; ++n) node_idxs.push_back(n);
+        }
+        part_node[static_cast<std::size_t>(p)] = node_idxs[0];
+        for (std::size_t n : node_idxs) {
+          for (int c : topo.nodes[n].cpus) {
+            if (std::binary_search(allowed.begin(), allowed.end(), c)) {
+              part_cores[static_cast<std::size_t>(p)].push_back(c);
+            }
+          }
+        }
+      }
+      // Pass 2: node-based partitions pin (and claim) their cores. Members
+      // that overflow an exhausted node (more members mapped to it than the
+      // mask offers) are deferred alongside the foreign-topology partitions
+      // so they only take cores no node cursor will claim.
+      std::vector<std::pair<int, int>> deferred;  // (partition, local slot)
+      for (int p = 0; p < nparts_; ++p) {
+        const std::vector<int>& cores = part_cores[static_cast<std::size_t>(p)];
+        Partition& part = *parts_[static_cast<std::size_t>(p)];
+        part.pin_cores.assign(static_cast<std::size_t>(part.count), -1);
+        if (cores.empty()) {
+          for (int l = 0; l < part.count; ++l) deferred.emplace_back(p, l);
+          continue;
+        }
+        for (int l = 0; l < part.count; ++l) {
+          int core = -1;
+          if (static_cast<std::size_t>(nparts_) >= nnodes) {
+            // Co-located siblings slice the node via its cursor.
+            std::size_t& cur =
+                node_cursor[part_node[static_cast<std::size_t>(p)]];
+            if (cur < cores.size()) core = cores[cur++];
+          } else if (static_cast<std::size_t>(l) < cores.size()) {
+            // Exclusive node range: no sibling shares these cores.
+            core = cores[static_cast<std::size_t>(l)];
+          }
+          if (core >= 0) {
+            mark_taken(core);
+            part.pin_cores[static_cast<std::size_t>(l)] = core;
+          } else {
+            deferred.emplace_back(p, l);
+          }
+        }
+      }
+      // Pass 3: deferred members take the leftovers — off-node placement
+      // beats two concurrent sub-team members time-sharing one core.
+      for (const auto& [p, l] : deferred) {
+        parts_[static_cast<std::size_t>(p)]
+            ->pin_cores[static_cast<std::size_t>(l)] = next_free_core();
+      }
+    }
+  }
+
   workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
-  for (int t = 1; t < nthreads_; ++t) {
-    workers_.emplace_back([this, t] { worker_main(t); });
+  for (int g = 1; g < nthreads_; ++g) {
+    workers_.emplace_back([this, g] { worker_main(g); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   shutdown_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> g(wake_mu_);
+  for (auto& part : parts_) {
+    std::lock_guard<std::mutex> g(part->wake_mu);
   }
-  wake_cv_.notify_all();
+  for (auto& part : parts_) part->wake_cv.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::worker_main(int tid) {
-  if (pin_ && pinning_enabled()) pin_to_core(tid);
+int ThreadPool::partition_size(int p) const {
+  if (p < 0 || p >= nparts_) return 0;
+  return parts_[static_cast<std::size_t>(p)]->count;
+}
+
+void ThreadPool::worker_main(int g) {
+  const int p = part_of_[static_cast<std::size_t>(g)];
+  const int l = local_of_[static_cast<std::size_t>(g)];
+  Partition& part = *parts_[static_cast<std::size_t>(p)];
+  if (!part.pin_cores.empty()) {
+    pin_to_core(part.pin_cores[static_cast<std::size_t>(l)]);
+  }
+
   std::uint64_t last_epoch = 0;
   while (true) {
     // Wait for the next region (or shutdown): spin briefly, then park.
     int spins = 0;
-    while (epoch_.load(std::memory_order_acquire) == last_epoch &&
+    while (part.epoch.load(std::memory_order_acquire) == last_epoch &&
            !shutdown_.load(std::memory_order_acquire)) {
       if (++spins < kSpinIters) {
         PLT_CPU_PAUSE();
       } else {
-        std::unique_lock<std::mutex> lk(wake_mu_);
-        wake_cv_.wait(lk, [&] {
-          return epoch_.load(std::memory_order_acquire) != last_epoch ||
+        std::unique_lock<std::mutex> lk(part.wake_mu);
+        part.wake_cv.wait(lk, [&] {
+          return part.epoch.load(std::memory_order_acquire) != last_epoch ||
                  shutdown_.load(std::memory_order_acquire);
         });
       }
     }
     if (shutdown_.load(std::memory_order_acquire)) return;
-    last_epoch = epoch_.load(std::memory_order_acquire);
+    last_epoch = part.epoch.load(std::memory_order_acquire);
 
     detail::RegionContext& ctx = detail::region_context();
-    ctx = {this, tid, nthreads_, true};
-    fn_(ctx_, tid, nthreads_);
+    if (part.scope == Scope::kTeam) {
+      ctx = {this, g, nthreads_, true, -1};
+      part.fn(part.ctx, g, nthreads_);
+    } else {
+      ctx = {this, l, part.count, true, p};
+      part.fn(part.ctx, l, part.count);
+    }
     ctx = {};
 
-    if (done_count_.fetch_add(1, std::memory_order_acq_rel) == nthreads_ - 2) {
-      // Last worker: release the dispatcher if it fell asleep.
-      std::lock_guard<std::mutex> g(done_mu_);
-      done_cv_.notify_one();
+    if (part.done.fetch_add(1, std::memory_order_acq_rel) ==
+        expected_done(part, p) - 1) {
+      // Last member: release the dispatcher if it fell asleep.
+      std::lock_guard<std::mutex> guard(part.done_mu);
+      part.done_cv.notify_one();
     }
   }
 }
 
-void ThreadPool::wait_workers_done() {
+void ThreadPool::publish(Partition& part, Scope scope, RegionFn fn,
+                         void* ctx) {
+  part.fn = fn;
+  part.ctx = ctx;
+  part.scope = scope;
+  part.done.store(0, std::memory_order_relaxed);
+  part.epoch.fetch_add(1, std::memory_order_acq_rel);
+  {
+    // Pairs with the predicate check in worker_main's parked wait.
+    std::lock_guard<std::mutex> g(part.wake_mu);
+  }
+  part.wake_cv.notify_all();
+}
+
+void ThreadPool::wait_partition_done(Partition& part) {
+  const int p = part_of_[static_cast<std::size_t>(part.first)];
+  const int expected = expected_done(part, p);
   int spins = 0;
-  while (done_count_.load(std::memory_order_acquire) != nthreads_ - 1) {
+  while (part.done.load(std::memory_order_acquire) != expected) {
     if (++spins < kSpinIters) {
       PLT_CPU_PAUSE();
     } else {
-      std::unique_lock<std::mutex> lk(done_mu_);
-      done_cv_.wait(lk, [&] {
-        return done_count_.load(std::memory_order_acquire) == nthreads_ - 1;
+      std::unique_lock<std::mutex> lk(part.done_mu);
+      part.done_cv.wait(lk, [&] {
+        return part.done.load(std::memory_order_acquire) == expected;
       });
     }
   }
+  part.fn = nullptr;
+  part.ctx = nullptr;
 }
 
 void ThreadPool::run(RegionFn fn, void* ctx) {
   detail::RegionContext& rc = detail::region_context();
-  if (rc.active || nthreads_ == 1) {
-    // Nested (or single-thread) dispatch degrades to a serial region.
-    if (rc.active) {
-      fn(ctx, 0, 1);
-      return;
-    }
-    rc = {this, 0, 1, true};
+  if (rc.active) {
+    // Nested dispatch degrades to a serial region (OpenMP nesting-off).
+    serial_degradations_.fetch_add(1, std::memory_order_relaxed);
+    fn(ctx, 0, 1);
+    return;
+  }
+  if (nthreads_ == 1) {
+    team_regions_.fetch_add(1, std::memory_order_relaxed);
+    rc = {this, 0, 1, true, -1};
     fn(ctx, 0, 1);
     rc = {};
     return;
@@ -135,44 +341,93 @@ void ThreadPool::run(RegionFn fn, void* ctx) {
   // One team, one dispatcher: a second application thread dispatching while
   // the team is busy runs its region serially instead of racing on the
   // dispatch state (which would deadlock) or convoying behind the first.
-  if (!dispatch_mu_.try_lock()) {
-    rc = {this, 0, 1, true};
+  // A whole-team region claims every partition, so it also excludes (and is
+  // excluded by) concurrent run_on() dispatchers.
+  int locked = 0;
+  for (; locked < nparts_; ++locked) {
+    if (!parts_[static_cast<std::size_t>(locked)]->dispatch_mu.try_lock()) {
+      break;
+    }
+  }
+  if (locked < nparts_) {
+    for (int p = 0; p < locked; ++p) {
+      parts_[static_cast<std::size_t>(p)]->dispatch_mu.unlock();
+    }
+    serial_degradations_.fetch_add(1, std::memory_order_relaxed);
+    rc = {this, 0, 1, true, -1};
     fn(ctx, 0, 1);
     rc = {};
     return;
   }
-  std::lock_guard<std::mutex> dispatch_guard(dispatch_mu_, std::adopt_lock);
 
-  fn_ = fn;
-  ctx_ = ctx;
-  done_count_.store(0, std::memory_order_relaxed);
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
-  {
-    // Pairs with the predicate check in worker_main's parked wait.
-    std::lock_guard<std::mutex> g(wake_mu_);
-  }
-  wake_cv_.notify_all();
+  team_regions_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& part : parts_) publish(*part, Scope::kTeam, fn, ctx);
 
-  rc = {this, 0, nthreads_, true};
+  rc = {this, 0, nthreads_, true, -1};
   fn(ctx, 0, nthreads_);
   rc = {};
 
-  wait_workers_done();
-  fn_ = nullptr;
-  ctx_ = nullptr;
+  for (auto& part : parts_) wait_partition_done(*part);
+  for (auto& part : parts_) part->dispatch_mu.unlock();
 }
 
-void ThreadPool::barrier(int tid) {
-  if (nthreads_ == 1) return;
-  PerThread& slot = slots_[static_cast<std::size_t>(tid)];
-  const int ls = 1 - slot.barrier_sense;
-  slot.barrier_sense = ls;
-  if (bar_waiting_.fetch_add(1, std::memory_order_acq_rel) == nthreads_ - 1) {
-    bar_waiting_.store(0, std::memory_order_relaxed);
-    bar_sense_.store(ls, std::memory_order_release);
+bool ThreadPool::run_on(int p, RegionFn fn, void* ctx) {
+  detail::RegionContext& rc = detail::region_context();
+  if (p < 0 || p >= nparts_) p = ((p % nparts_) + nparts_) % nparts_;
+  Partition& part = *parts_[static_cast<std::size_t>(p)];
+
+  if (rc.active) {
+    serial_degradations_.fetch_add(1, std::memory_order_relaxed);
+    fn(ctx, 0, 1);
+    return false;
+  }
+  const bool caller_participates = (p == 0);
+  if (part.count == 1 && caller_participates) {
+    // Single-member partition 0: the caller is the whole sub-team.
+    part.regions.fetch_add(1, std::memory_order_relaxed);
+    rc = {this, 0, 1, true, p};
+    fn(ctx, 0, 1);
+    rc = {};
+    return true;
+  }
+  if (!part.dispatch_mu.try_lock()) {
+    serial_degradations_.fetch_add(1, std::memory_order_relaxed);
+    rc = {this, 0, 1, true, p};
+    fn(ctx, 0, 1);
+    rc = {};
+    return false;
+  }
+  std::lock_guard<std::mutex> guard(part.dispatch_mu, std::adopt_lock);
+
+  part.regions.fetch_add(1, std::memory_order_relaxed);
+  publish(part, Scope::kPartition, fn, ctx);
+  if (caller_participates) {
+    rc = {this, 0, part.count, true, p};
+    fn(ctx, 0, part.count);
+    rc = {};
+  }
+  wait_partition_done(part);
+  return true;
+}
+
+void ThreadPool::leaf_barrier(Partition& part, bool team_scope) {
+  const std::uint64_t gen = part.leaf_gen.load(std::memory_order_acquire);
+  if (part.leaf_waiting.fetch_add(1, std::memory_order_acq_rel) ==
+      part.count - 1) {
+    // Partition representative: join the root before releasing the leaf so
+    // the episode orders every member of every partition. Hierarchical
+    // episodes are counted once at the root release (not per leaf), so the
+    // stat is comparable across partition counts.
+    if (team_scope && nparts_ > 1) {
+      root_barrier();
+    } else {
+      barrier_epochs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    part.leaf_waiting.store(0, std::memory_order_relaxed);
+    part.leaf_gen.store(gen + 1, std::memory_order_release);
   } else {
     int spins = 0;
-    while (bar_sense_.load(std::memory_order_acquire) != ls) {
+    while (part.leaf_gen.load(std::memory_order_acquire) == gen) {
       // Yield past the spin budget so oversubscribed teams make progress.
       if (++spins < kSpinIters) {
         PLT_CPU_PAUSE();
@@ -181,6 +436,76 @@ void ThreadPool::barrier(int tid) {
       }
     }
   }
+}
+
+void ThreadPool::root_barrier() {
+  const std::uint64_t gen = root_gen_.load(std::memory_order_acquire);
+  if (root_waiting_.fetch_add(1, std::memory_order_acq_rel) == nparts_ - 1) {
+    barrier_epochs_.fetch_add(1, std::memory_order_relaxed);
+    root_waiting_.store(0, std::memory_order_relaxed);
+    root_gen_.store(gen + 1, std::memory_order_release);
+  } else {
+    int spins = 0;
+    while (root_gen_.load(std::memory_order_acquire) == gen) {
+      if (++spins < kSpinIters) {
+        PLT_CPU_PAUSE();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+void ThreadPool::barrier(int tid) {
+  const detail::RegionContext& rc = detail::region_context();
+  if (rc.active && rc.nthreads <= 1) return;  // serial/degraded region
+  if (nthreads_ == 1) return;
+  if (rc.active && rc.partition >= 0) {
+    leaf_barrier(*parts_[static_cast<std::size_t>(rc.partition)], false);
+    return;
+  }
+  // Whole-team region: tid is the global slot; synchronize hierarchically.
+  const int p = part_of_[static_cast<std::size_t>(tid)];
+  leaf_barrier(*parts_[static_cast<std::size_t>(p)], true);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.team_regions = team_regions_.load(std::memory_order_relaxed);
+  s.serial_degradations =
+      serial_degradations_.load(std::memory_order_relaxed);
+  s.barrier_epochs = barrier_epochs_.load(std::memory_order_relaxed);
+  s.partition.reserve(static_cast<std::size_t>(nparts_));
+  for (const auto& part : parts_) {
+    PartitionCounters c;
+    c.regions = part->regions.load(std::memory_order_relaxed);
+    c.steals = part->steals.load(std::memory_order_relaxed);
+    s.partition.push_back(c);
+  }
+  return s;
+}
+
+void ThreadPool::pin_caller_to_partition(int p) {
+  if (p < 0 || p >= nparts_) return;
+  const Partition& part = *parts_[static_cast<std::size_t>(p)];
+  if (part.pin_cores.empty()) return;
+#if defined(__linux__)
+  // The whole partition's core set, not a single core: every specific core
+  // is owned by a pinned worker, and hard-binding the dispatcher onto one of
+  // them would make its spin/wake loops contend with that worker's compute.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : part.pin_cores) {
+    if (c >= 0) CPU_SET(static_cast<unsigned>(c), &set);
+  }
+  ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set);
+#endif
+}
+
+void ThreadPool::note_steal(int p) {
+  if (p < 0 || p >= nparts_) return;
+  parts_[static_cast<std::size_t>(p)]->steals.fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 int ThreadPool::default_size() {
@@ -199,7 +524,9 @@ int ThreadPool::default_size() {
 ThreadPool& ThreadPool::instance() {
   // Leaked on purpose: worker threads must not be joined during static
   // destruction (kernels may still run in atexit handlers).
-  static ThreadPool* pool = new ThreadPool(default_size());
+  static ThreadPool* pool = new ThreadPool(
+      default_size(), /*pin=*/true,
+      static_cast<int>(common::env_int("PLT_POOL_PARTITIONS", 0, 0, 1 << 12)));
   return *pool;
 }
 

@@ -5,19 +5,32 @@
 // steady-state dispatch is a lookup). An OpenMP `#pragma omp parallel` per
 // nest call undermines that for small nests: every invocation pays region
 // spawn/join. This pool keeps one process-wide team of pinned threads alive;
-// dispatching a region is a single atomic epoch bump, and in-region barriers
-// are a cache-line-padded sense-reversing flag flip — no kernel transitions
+// dispatching a region is an atomic epoch bump per partition, and in-region
+// barriers are cache-line-padded generation counters — no kernel transitions
 // on the steady-state path (workers spin briefly, then park on a condvar so
 // an idle process does not burn CPU).
 //
+// Topology-aware partitioning. The team is split into contiguous sub-teams
+// (partitions), one per NUMA node by default (common/topology.hpp;
+// PLT_POOL_PARTITIONS overrides the count so the layout is exercisable on
+// single-node machines). Each partition's workers pin to its node's cores,
+// the whole-team region barrier is hierarchical (per-partition leaf + one
+// cross-partition root), and run_on(p, fn, ctx) dispatches a region onto a
+// single partition so independent regions — e.g. per-partition serving
+// batches — execute concurrently instead of serializing on one team.
+//
 // Semantics match plt::parallel_region(fn): fn(tid, nthreads) runs once per
-// team member, tid 0 being the dispatching thread. Nested dispatch from
-// inside a region degrades to a serial call, like OpenMP with nesting off.
+// team member, tid 0 being the dispatching thread. Partitioning of loop
+// iterations is a pure function of (tid, nthreads), so results are
+// bitwise-identical across partition counts for a fixed team size. Nested
+// dispatch from inside a region degrades to a serial call, like OpenMP with
+// nesting off; a run_on() whose partition is busy degrades the same way.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -29,64 +42,134 @@ class ThreadPool {
   using RegionFn = void (*)(void* ctx, int tid, int nthreads);
 
   // Spawns nthreads - 1 workers; the dispatching thread participates as
-  // tid 0. pin=true binds thread i to logical core i % cores.
-  explicit ThreadPool(int nthreads, bool pin = true);
+  // tid 0. pin=true binds each worker to a core of its partition's NUMA
+  // node (enumerated online-core list in the 1-partition fallback; pinning
+  // is skipped with one warning when the process affinity mask holds fewer
+  // cores than the team). partitions=0 derives the count from the detected
+  // topology; explicit values are clamped to [1, nthreads].
+  explicit ThreadPool(int nthreads, bool pin = true, int partitions = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int size() const { return nthreads_; }
+  int partitions() const { return nparts_; }
+  int partition_size(int p) const;
 
   // Runs fn(ctx, tid, size()) on every team member and returns when all are
-  // done. Calls from inside an active region (any pool) run fn(ctx, 0, 1).
+  // done. Calls from inside an active region (any pool) run fn(ctx, 0, 1),
+  // as does losing the dispatch race to another top-level dispatcher.
   void run(RegionFn fn, void* ctx);
 
-  // Sense-reversing barrier across the team; callable only from inside a
-  // region, by every member.
+  // Runs fn(ctx, tid, partition_size(p)) on partition p's sub-team only;
+  // distinct partitions execute concurrently. On partition 0 the caller
+  // participates as tid 0; on other partitions every member is a pinned
+  // worker and the caller only dispatches and waits (so the compute stays
+  // resident on the partition's node). Returns false when the region
+  // degraded to a serial call on the caller (nested dispatch, or the
+  // partition was busy).
+  bool run_on(int p, RegionFn fn, void* ctx);
+
+  // Barrier across the calling region's team: hierarchical (per-partition
+  // leaf + cross-partition root) inside whole-team regions, a single leaf
+  // inside run_on() regions. Callable only from inside a region, by every
+  // member; tid is the region-local thread id.
   void barrier(int tid);
 
+  // Dispatch/synchronization counters, snapshot at any time. steals are
+  // attributed by the serving layer (note_steal) when it executes work
+  // stolen from another partition's queue on this one.
+  struct PartitionCounters {
+    std::uint64_t regions = 0;  // run_on dispatches onto this partition
+    std::uint64_t steals = 0;
+  };
+  struct Stats {
+    std::uint64_t team_regions = 0;          // whole-team run() dispatches
+    std::uint64_t serial_degradations = 0;   // nested / busy fallbacks
+    // Completed barrier episodes: a whole-team hierarchical episode counts
+    // once (at the root release), a run_on() leaf episode once per leaf.
+    std::uint64_t barrier_epochs = 0;
+    std::vector<PartitionCounters> partition;
+  };
+  Stats stats() const;
+  void note_steal(int p);
+
+  // Pins the calling thread onto partition p's core set (any core of the
+  // sub-team, not one specific core — each specific core is owned by a
+  // pinned worker). Used by per-partition serving dispatchers so the
+  // dispatch and wait loops stay resident on the node they serve. No-op
+  // when the pool built no pin plan (pinning disabled or mask too small).
+  void pin_caller_to_partition(int p);
+
   // The process-wide pool used by parallel_region(). Created on first use
-  // with default_size() threads.
+  // with default_size() threads and PLT_POOL_PARTITIONS partitions.
   static ThreadPool& instance();
 
   // PLT_NUM_THREADS env override, else OpenMP's max, else hardware cores.
   static int default_size();
 
  private:
-  struct alignas(64) PerThread {
-    int barrier_sense = 0;        // owner-thread only
-    char pad[60];
+  enum class Scope : int { kTeam = 0, kPartition = 1 };
+
+  // Per-partition dispatch + leaf-barrier state. Workers only ever touch
+  // their own partition's cache lines on the steady-state path.
+  struct Partition {
+    int first = 0;  // global tid of the first member
+    int count = 0;
+    std::vector<int> pin_cores;  // per-member pin target; empty = no pinning
+
+    // Dispatch: members watch epoch; fn/ctx/scope are published before the
+    // epoch bump (release) and read after observing it (acquire). A new
+    // dispatch is only published after the previous one fully completed
+    // (the dispatcher's acquire on `done`), so the plain fields never race.
+    alignas(64) std::atomic<std::uint64_t> epoch{0};
+    RegionFn fn = nullptr;
+    void* ctx = nullptr;
+    Scope scope = Scope::kTeam;
+    alignas(64) std::atomic<int> done{0};
+
+    // Leaf barrier (generation counter: robust to team- and partition-scope
+    // episodes interleaving on the same leaf).
+    alignas(64) std::atomic<std::uint64_t> leaf_gen{0};
+    alignas(64) std::atomic<int> leaf_waiting{0};
+
+    std::mutex dispatch_mu;  // owner of the sub-team
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+
+    std::atomic<std::uint64_t> regions{0};
+    std::atomic<std::uint64_t> steals{0};
   };
 
-  void worker_main(int tid);
-  void wait_workers_done();
+  void worker_main(int g);
+  void publish(Partition& part, Scope scope, RegionFn fn, void* ctx);
+  void wait_partition_done(Partition& part);
+  static int expected_done(const Partition& part, int p) {
+    // Partition 0's tid-0 slot is the dispatching thread, not a worker.
+    return part.count - (p == 0 ? 1 : 0);
+  }
+  void leaf_barrier(Partition& part, bool team_scope);
+  void root_barrier();
 
   int nthreads_;
+  int nparts_;
   bool pin_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<int> part_of_;   // global tid -> partition index
+  std::vector<int> local_of_;  // global tid -> partition-local tid
   std::vector<std::thread> workers_;
-  std::vector<PerThread> slots_;
-
-  // Dispatch state: workers watch epoch_; fn_/ctx_ are published before the
-  // epoch bump (release) and read after observing it (acquire).
-  alignas(64) std::atomic<std::uint64_t> epoch_{0};
-  RegionFn fn_ = nullptr;
-  void* ctx_ = nullptr;
   std::atomic<bool> shutdown_{false};
-  alignas(64) std::atomic<int> done_count_{0};
 
-  // Region barrier (centralized sense-reversing).
-  alignas(64) std::atomic<int> bar_waiting_{0};
-  alignas(64) std::atomic<int> bar_sense_{0};
+  // Root barrier across partition representatives (whole-team regions).
+  alignas(64) std::atomic<std::uint64_t> root_gen_{0};
+  alignas(64) std::atomic<int> root_waiting_{0};
 
-  // Serializes top-level dispatchers; losers degrade to serial regions
-  // (there is only one worker team to hand out).
-  std::mutex dispatch_mu_;
-
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
+  std::atomic<std::uint64_t> team_regions_{0};
+  std::atomic<std::uint64_t> serial_degradations_{0};
+  std::atomic<std::uint64_t> barrier_epochs_{0};
 };
 
 // Execution runtime selector shared with common/threading.hpp.
@@ -101,12 +184,15 @@ const char* runtime_name(Runtime r);
 namespace detail {
 // Thread-local region context maintained by the active backend so that
 // thread_id()/num_threads_in_region()/thread_barrier() work inside pool
-// regions exactly as they do inside OpenMP regions.
+// regions exactly as they do inside OpenMP regions. `partition` selects the
+// barrier scope: -1 = whole-team region (tid is the global slot),
+// >= 0 = run_on() region on that partition (tid is partition-local).
 struct RegionContext {
   ThreadPool* pool = nullptr;
   int tid = 0;
   int nthreads = 1;
   bool active = false;
+  int partition = -1;
 };
 RegionContext& region_context();
 }  // namespace detail

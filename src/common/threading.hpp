@@ -71,6 +71,15 @@ inline void thread_barrier() {
 #endif
 }
 
+// Runs fn(tid, nthreads) on one pool partition's sub-team; regions on
+// distinct partitions execute concurrently (the serving layer runs one
+// per-partition batch on each). Under non-pool runtimes, or when the pool
+// has a single partition, this is exactly parallel_region(fn). Returns false
+// when the region degraded to a serial call (nested dispatch, busy
+// partition) — results are identical either way, only concurrency is lost.
+template <typename Fn>
+bool parallel_region_on(int partition, Fn&& fn);
+
 // Runs fn(tid, nthreads) once per team member under the current runtime.
 template <typename Fn>
 void parallel_region(Fn&& fn) {
@@ -99,6 +108,36 @@ void parallel_region(Fn&& fn) {
     }
   }
   fn(0, 1);
+}
+
+template <typename Fn>
+bool parallel_region_on(int partition, Fn&& fn) {
+  if (runtime() != Runtime::kPool) {
+    // Nested dispatch degrades parallel_region to a serial call on every
+    // backend; report it so the return contract holds on fallback paths.
+    const bool nested = detail::region_context().active;
+    parallel_region(std::forward<Fn>(fn));
+    return !nested;
+  }
+  // Always dispatch through run_on: on a 1-partition pool, partition 0 IS
+  // the whole team (same tids, same leaf barrier), and run_on's return
+  // value reports busy-dispatch degradation that a parallel_region fallback
+  // would swallow.
+  using FnT = std::remove_reference_t<Fn>;
+  return ThreadPool::instance().run_on(
+      partition,
+      [](void* c, int tid, int nthreads) {
+        (*static_cast<FnT*>(c))(tid, nthreads);
+      },
+      const_cast<void*>(static_cast<const void*>(&fn)));
+}
+
+// Partition count of the active execution backend: the process-wide pool's
+// under PLT_RUNTIME=pool, 1 otherwise (no other backend is partitioned).
+// Shared by the serving layer and the benches so the rule lives here once.
+inline int pool_partitions() {
+  return runtime() == Runtime::kPool ? ThreadPool::instance().partitions()
+                                     : 1;
 }
 
 }  // namespace plt

@@ -1,0 +1,131 @@
+#include "common/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <dirent.h>
+#endif
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+
+namespace plt::common {
+
+namespace {
+// Sanity ceiling on cpu ids (the kernel's NR_CPUS ballpark): a corrupt or
+// mistyped cpulist like "0-4294967295" must parse as malformed, not
+// materialize a multi-gigabyte vector (and overflow int) at pool startup.
+constexpr long kMaxCpuId = 1 << 20;
+}  // namespace
+
+std::vector<int> parse_cpu_list(const std::string& s) {
+  // Strip trailing whitespace/newline (sysfs files end with '\n').
+  std::string t = s;
+  while (!t.empty() && std::isspace(static_cast<unsigned char>(t.back()))) {
+    t.pop_back();
+  }
+  std::vector<int> cpus;
+  if (t.empty()) return cpus;
+
+  std::istringstream is(t);
+  std::string piece;
+  while (std::getline(is, piece, ',')) {
+    if (piece.empty()) return {};
+    std::size_t pos = 0;
+    long lo = 0, hi = 0;
+    try {
+      lo = std::stol(piece, &pos);
+    } catch (...) {
+      return {};
+    }
+    if (lo < 0 || lo > kMaxCpuId) return {};
+    hi = lo;
+    if (pos < piece.size()) {
+      if (piece[pos] != '-') return {};
+      const std::string rest = piece.substr(pos + 1);
+      std::size_t rpos = 0;
+      try {
+        hi = std::stol(rest, &rpos);
+      } catch (...) {
+        return {};
+      }
+      if (rpos != rest.size() || hi < lo || hi > kMaxCpuId) return {};
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+int Topology::total_cpus() const {
+  int n = 0;
+  for (const NumaNode& node : nodes) n += static_cast<int>(node.cpus.size());
+  return n;
+}
+
+Topology Topology::from_dir(const std::string& node_dir) {
+  Topology topo;
+#if defined(__linux__)
+  DIR* dir = ::opendir(node_dir.c_str());
+  if (dir == nullptr) return topo;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    // Accept only node<digits> (sysfs also holds has_cpu, online, ...).
+    if (name.size() <= 4 || name.compare(0, 4, "node") != 0) continue;
+    bool numeric = true;
+    for (std::size_t i = 4; i < name.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (!numeric) continue;
+    std::ifstream is(node_dir + "/" + name + "/cpulist");
+    if (!is) continue;
+    std::string line;
+    std::getline(is, line);
+    NumaNode node;
+    node.id = std::atoi(name.c_str() + 4);
+    node.cpus = parse_cpu_list(line);
+    if (!node.cpus.empty()) topo.nodes.push_back(std::move(node));
+  }
+  ::closedir(dir);
+  std::sort(topo.nodes.begin(), topo.nodes.end(),
+            [](const NumaNode& a, const NumaNode& b) { return a.id < b.id; });
+#else
+  (void)node_dir;
+#endif
+  return topo;
+}
+
+Topology Topology::fallback(int ncpus) {
+  if (ncpus < 1) ncpus = 1;
+  Topology topo;
+  NumaNode node;
+  node.id = 0;
+  node.cpus.reserve(static_cast<std::size_t>(ncpus));
+  for (int c = 0; c < ncpus; ++c) node.cpus.push_back(c);
+  topo.nodes.push_back(std::move(node));
+  return topo;
+}
+
+Topology Topology::detect() {
+  const std::string dir =
+      env_str("PLT_TOPOLOGY_DIR", "/sys/devices/system/node");
+  Topology topo = from_dir(dir);
+  if (!topo.nodes.empty()) return topo;
+  if (dir != "/sys/devices/system/node") {
+    PLT_LOG_WARN << "topology: PLT_TOPOLOGY_DIR=" << dir
+                 << " has no parseable node*/cpulist; using flat fallback";
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return fallback(hc == 0 ? 1 : static_cast<int>(hc));
+}
+
+}  // namespace plt::common

@@ -1,0 +1,42 @@
+// CPU/NUMA topology discovery for the partitioned thread pool. The real
+// source of truth is /sys/devices/system/node/node<N>/cpulist; the
+// PLT_TOPOLOGY_DIR environment variable points detection at a mocked
+// directory with the same layout so partitioning is exercisable (and
+// testable) on single-node machines. When neither parses, detection falls
+// back to one node holding every hardware thread — the pool then behaves
+// exactly like the pre-partitioning runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace plt::common {
+
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;  // sorted ascending, deduplicated
+};
+
+struct Topology {
+  std::vector<NumaNode> nodes;  // sorted by id; only nodes with >= 1 cpu
+
+  int total_cpus() const;
+
+  // Parses a sysfs-style node directory (node<N>/cpulist files). Nodes
+  // whose cpulist is missing, empty or malformed are skipped. An empty
+  // result means the directory did not describe a usable topology.
+  static Topology from_dir(const std::string& node_dir);
+
+  // PLT_TOPOLOGY_DIR override, else /sys/devices/system/node, else
+  // fallback(hardware_concurrency). Never returns an empty topology.
+  static Topology detect();
+
+  // Single node 0 with cpus 0..ncpus-1 (ncpus clamped to >= 1).
+  static Topology fallback(int ncpus);
+};
+
+// Parses a kernel cpulist string ("0-3,8,10-11"). Returns an empty vector
+// on malformed input (trailing garbage, inverted ranges, non-numeric).
+std::vector<int> parse_cpu_list(const std::string& s);
+
+}  // namespace plt::common

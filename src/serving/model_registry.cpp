@@ -1,15 +1,24 @@
 #include "serving/model_registry.hpp"
 
 #include "common/check.hpp"
+#include "common/threading.hpp"
 
 namespace plt::serving {
 
-void ModelRegistry::add(std::shared_ptr<Session> session) {
+void ModelRegistry::add(std::shared_ptr<Session> session, int partition) {
   PLT_CHECK(session != nullptr, "registry: null session");
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = by_name_.emplace(session->name(), session);
-  PLT_CHECK(inserted, "registry: duplicate model name");
-  ordered_.push_back(std::move(session));
+  int pin = partition;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] = by_name_.emplace(session->name(), session);
+    PLT_CHECK(inserted, "registry: duplicate model name");
+    ordered_.push_back(session);
+    const int nparts = pool_partitions();
+    if (pin < 0) pin = next_partition_++ % nparts;
+    pin %= nparts;
+  }
+  // Outside the lock: the first-touch warmup runs real model forwards.
+  session->pin_partition(pin);
 }
 
 std::shared_ptr<Session> ModelRegistry::find(const std::string& name) const {

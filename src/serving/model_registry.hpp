@@ -17,8 +17,13 @@ namespace plt::serving {
 class ModelRegistry {
  public:
   // Registers a session under session->name(); fails on duplicates (two
-  // models with one name would make batch grouping ambiguous).
-  void add(std::shared_ptr<Session> session);
+  // models with one name would make batch grouping ambiguous). Registration
+  // pins the session to a pool partition (explicit `partition`, else
+  // round-robin across the partitions) and first-touch-warms its lazily
+  // built scratch/plans on that partition's sub-team, so the sharded
+  // scheduler serves it where its memory lives. On a single-partition pool
+  // (or a non-pool runtime) pinning is a no-op beyond recording partition 0.
+  void add(std::shared_ptr<Session> session, int partition = -1);
 
   // nullptr when the name is unknown.
   std::shared_ptr<Session> find(const std::string& name) const;
@@ -36,6 +41,7 @@ class ModelRegistry {
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Session>> by_name_;
   std::vector<std::shared_ptr<Session>> ordered_;
+  int next_partition_ = 0;  // round-robin cursor for unpinned registrations
 };
 
 }  // namespace plt::serving

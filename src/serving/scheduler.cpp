@@ -21,6 +21,8 @@ SchedulerConfig SchedulerConfig::from_env() {
   c.queue_capacity = static_cast<std::size_t>(common::env_int(
       "PLT_SERVE_QUEUE_CAP", static_cast<std::int64_t>(def.queue_capacity), 2,
       1 << 20));
+  c.shards = static_cast<int>(common::env_int("PLT_SERVE_SHARDS", 0, 0, 64));
+  c.steal = common::env_flag("PLT_SERVE_STEAL", def.steal);
   return c;
 }
 
@@ -35,19 +37,50 @@ void RequestHandle::wait() const {
       lk, [&] { return st_->done.load(std::memory_order_acquire); });
 }
 
-RequestScheduler::RequestScheduler(SchedulerConfig cfg)
-    : cfg_(cfg), queue_(cfg.queue_capacity) {
+RequestScheduler::RequestScheduler(SchedulerConfig cfg) : cfg_(cfg) {
   PLT_CHECK(cfg_.max_batch >= 1, "serving: max_batch must be >= 1");
-  dispatcher_ = std::thread([this] { dispatcher_main(); });
+  int nshards = cfg_.shards;
+  if (nshards <= 0) {
+    // Auto: mirror the pool's partitioning so each dispatcher owns one
+    // sub-team; non-pool runtimes have no partitions to mirror.
+    nshards = pool_partitions();
+  }
+  nshards = std::max(1, nshards);
+  shards_.reserve(static_cast<std::size_t>(nshards));
+  for (int s = 0; s < nshards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(cfg_.queue_capacity));
+  }
+  for (int s = 0; s < nshards; ++s) {
+    shards_[static_cast<std::size_t>(s)]->dispatcher =
+        std::thread([this, s] { dispatcher_main(s); });
+  }
 }
 
 RequestScheduler::~RequestScheduler() { shutdown(); }
 
-void RequestScheduler::wake_dispatcher() {
+void RequestScheduler::wake_shard(Shard& shard) {
   {
-    std::lock_guard<std::mutex> g(wake_mu_);
+    std::lock_guard<std::mutex> g(shard.wake_mu);
   }
-  wake_cv_.notify_all();
+  shard.wake_cv.notify_all();
+}
+
+int RequestScheduler::shard_of(Session* session) {
+  const int nshards = shard_count();
+  if (nshards == 1) return 0;  // single-queue layout: no pinning involved
+  int p = session->partition();
+  if (p < 0) {
+    // Unpinned session on a sharded scheduler: pin it round-robin now (no
+    // warmup — registration is where first-touch placement happens). The
+    // round-robin domain is the POOL PARTITION count, not the shard count:
+    // home batches execute on the session's partition, so pinning over
+    // fewer shards than partitions would strand the extra sub-teams.
+    const int domain =
+        runtime() == Runtime::kPool ? std::max(1, pool_partitions()) : nshards;
+    p = session->pin_partition_if_unpinned(
+        rr_pin_.fetch_add(1, std::memory_order_relaxed) % domain);
+  }
+  return p % nshards;
 }
 
 RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
@@ -66,24 +99,44 @@ RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
   st->owner = this;
   st->t_submit = steady_clock::now();
 
-  while (!queue_.try_push(st)) {
+  const int s = shard_of(session.get());
+  const int nshards = shard_count();
+  Shard& shard = *shards_[static_cast<std::size_t>(s)];
+  while (!shard.queue.try_push(st)) {
     // Full queue = back-pressure: make sure the dispatcher is draining, then
     // let it run. Accepted requests are never dropped.
-    wake_dispatcher();
+    wake_shard(shard);
     std::this_thread::yield();
   }
   // Fence pairs with the dispatcher's fence after it sets parked: either we
   // observe parked and notify, or the dispatcher's predicate observes our
   // push. Never both missed (no lost wakeup).
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (dispatcher_parked_.load(std::memory_order_relaxed)) wake_dispatcher();
+  if (shard.parked.load(std::memory_order_relaxed)) {
+    wake_shard(shard);
+  } else if (cfg_.steal && nshards > 1) {
+    // Home dispatcher is busy (mid-batch): nudge one IDLE-parked sibling to
+    // come steal this backlog (a deadline-parked sibling has its own
+    // batches and would ignore the hint). Push-side nudging keeps idle
+    // shards fully asleep — no periodic steal polling — at the same steal
+    // latency.
+    for (int k = 1; k < nshards; ++k) {
+      Shard& sib = *shards_[static_cast<std::size_t>((s + k) % nshards)];
+      if (sib.idle_parked.load(std::memory_order_relaxed)) {
+        sib.steal_hint.store(true, std::memory_order_release);
+        wake_shard(sib);
+        break;
+      }
+    }
+  }
 
   submitters_.fetch_sub(1, std::memory_order_seq_cst);
   return RequestHandle(std::move(st));
 }
 
 void RequestScheduler::execute_batch(
-    Session* session, std::vector<std::shared_ptr<detail::RequestState>> reqs,
+    int s, Session* session,
+    std::vector<std::shared_ptr<detail::RequestState>> reqs,
     std::size_t pending_highwater) {
   const int batch = static_cast<int>(reqs.size());
   std::vector<detail::RequestState*> rp(reqs.size());
@@ -93,11 +146,30 @@ void RequestScheduler::execute_batch(
   // One region for the whole batch: team member t serves requests
   // t, t + nthreads, ... on their own lanes; nests inside a request run as
   // serial walks (nested-region rule), so this is the only dispatch cost.
-  parallel_region([&](int tid, int nthreads) {
-    for (int i = tid; i < batch; i += nthreads) {
-      session->run(i, rp[i]->in, rp[i]->out);
+  // The session exec mutex keeps a stolen batch from racing the home
+  // dispatcher on the same lanes; it is uncontended in steady state.
+  {
+    std::lock_guard<std::mutex> lane_guard(session->exec_mutex());
+    const auto body = [&](int tid, int nthreads) {
+      for (int i = tid; i < batch; i += nthreads) {
+        session->run(i, rp[i]->in, rp[i]->out);
+      }
+    };
+    if (shard_count() > 1) {
+      // Sharded layout: a home batch runs on the SESSION's partition — the
+      // sub-team whose node first-touched its weights/scratch — even when
+      // the shard count differs from the partition count. A stolen batch
+      // (executing on a shard other than the session's home shard) runs on
+      // the thief's partition instead: the home sub-team is busy, and extra
+      // concurrency is the point of the steal. run_on() wraps either index
+      // modulo the partition count.
+      const int home = session->partition();
+      const bool home_batch = home >= 0 && home % shard_count() == s;
+      parallel_region_on(home_batch ? home : s, body);
+    } else {
+      parallel_region(body);
     }
-  });
+  }
   const double exec_us = exec_timer.micros();
 
   const auto now = steady_clock::now();
@@ -132,47 +204,84 @@ void RequestScheduler::execute_batch(
   done_cv_.notify_all();
 }
 
-void RequestScheduler::dispatcher_main() {
+void RequestScheduler::dispatcher_main(int s) {
+  Shard& shard = *shards_[static_cast<std::size_t>(s)];
+  const int nshards = shard_count();
+  const bool can_steal = cfg_.steal && nshards > 1;
+  if (runtime() == Runtime::kPool && nshards > 1) {
+    // Keep this dispatcher's submit/wait loops resident on the node whose
+    // sub-team executes its batches.
+    ThreadPool& pool = ThreadPool::instance();
+    pool.pin_caller_to_partition(s % pool.partitions());
+  }
+
   std::unordered_map<Session*, Pending> pending;
   std::size_t n_pending = 0;
 
-  const auto effective_batch = [&](Session* s) {
-    return std::min(cfg_.max_batch, s->lanes());
+  const auto effective_batch = [&](Session* sess) {
+    return std::min(cfg_.max_batch, sess->lanes());
   };
   const auto flush = [&](Pending& p) {
-    Session* s = p.reqs.front()->session.get();
+    Session* sess = p.reqs.front()->session.get();
     n_pending -= p.reqs.size();
     const std::size_t hw = p.highwater;
-    execute_batch(s, std::move(p.reqs), hw);
+    execute_batch(s, sess, std::move(p.reqs), hw);
     p.reqs.clear();
   };
   const auto admit = [&](std::shared_ptr<detail::RequestState> r) {
-    Session* s = r->session.get();
-    Pending& p = pending[s];
+    Session* sess = r->session.get();
+    Pending& p = pending[sess];
     if (p.reqs.empty()) p.oldest = r->t_submit;
     p.reqs.push_back(std::move(r));
     ++n_pending;
     p.highwater = std::max(p.highwater, p.reqs.size());
-    if (static_cast<int>(p.reqs.size()) >= effective_batch(s)) flush(p);
+    if (static_cast<int>(p.reqs.size()) >= effective_batch(sess)) flush(p);
+  };
+  // Idle shard: pop from siblings' queues, oldest shard first from s+1. The
+  // executing partition gets the steal attributed (ISSUE 5 stats).
+  const auto try_steal = [&]() -> bool {
+    bool stole = false;
+    int budget = cfg_.max_batch;
+    for (int k = 1; k < nshards && budget > 0; ++k) {
+      Shard& victim = *shards_[static_cast<std::size_t>((s + k) % nshards)];
+      std::shared_ptr<detail::RequestState> r;
+      while (budget > 0 && victim.queue.try_pop(r)) {
+        shard.stolen.fetch_add(1, std::memory_order_relaxed);
+        if (runtime() == Runtime::kPool) {
+          ThreadPool& pool = ThreadPool::instance();
+          pool.note_steal(s % pool.partitions());
+        }
+        admit(std::move(r));
+        stole = true;
+        --budget;
+      }
+    }
+    return stole;
   };
 
   while (true) {
-    const std::size_t depth = queue_.size_approx() + n_pending;
-    if (depth > queue_highwater_.load(std::memory_order_relaxed)) {
-      queue_highwater_.store(depth, std::memory_order_relaxed);
+    // Sample the backlog BEFORE draining (draining flushes full batches
+    // inline, so sampling after would cap the metric near max_batch).
+    // CAS-max: plain check-then-store would let two shards' interleaved
+    // updates regress the published high-water mark.
+    const std::size_t depth = shard.queue.size_approx() + n_pending;
+    std::size_t seen = queue_highwater_.load(std::memory_order_relaxed);
+    while (depth > seen && !queue_highwater_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
     }
 
     std::shared_ptr<detail::RequestState> r;
-    while (queue_.try_pop(r)) admit(std::move(r));
+    while (shard.queue.try_pop(r)) admit(std::move(r));
 
     if (stop_.load(std::memory_order_seq_cst)) {
       // Draining: flush every partial batch immediately, then exit once no
-      // producer is mid-submit and the queue is provably empty.
+      // producer is mid-submit and the shard's queue is provably empty.
+      // Every shard drains its own queue, so stealing is unnecessary here.
       for (auto& entry : pending) {
         if (!entry.second.reqs.empty()) flush(entry.second);
       }
       if (submitters_.load(std::memory_order_seq_cst) == 0) {
-        if (!queue_.try_pop(r)) break;
+        if (!shard.queue.try_pop(r)) break;
         admit(std::move(r));
       } else {
         std::this_thread::yield();
@@ -181,14 +290,24 @@ void RequestScheduler::dispatcher_main() {
     }
 
     if (n_pending == 0) {
-      std::unique_lock<std::mutex> lk(wake_mu_);
-      dispatcher_parked_.store(true, std::memory_order_relaxed);
+      if (can_steal) {
+        // Consume any pending nudge before scanning, so a nudge that lands
+        // mid-scan wakes the park below instead of being lost.
+        shard.steal_hint.store(false, std::memory_order_relaxed);
+        if (try_steal()) continue;
+      }
+      std::unique_lock<std::mutex> lk(shard.wake_mu);
+      shard.parked.store(true, std::memory_order_relaxed);
+      shard.idle_parked.store(true, std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_seq_cst);
-      wake_cv_.wait(lk, [&] {
-        return queue_.size_approx() > 0 ||
-               stop_.load(std::memory_order_acquire);
+      shard.wake_cv.wait(lk, [&] {
+        return shard.queue.size_approx() > 0 ||
+               stop_.load(std::memory_order_acquire) ||
+               (can_steal &&
+                shard.steal_hint.load(std::memory_order_acquire));
       });
-      dispatcher_parked_.store(false, std::memory_order_relaxed);
+      shard.idle_parked.store(false, std::memory_order_relaxed);
+      shard.parked.store(false, std::memory_order_relaxed);
       continue;
     }
 
@@ -208,22 +327,25 @@ void RequestScheduler::dispatcher_main() {
       }
     }
     if (n_pending == 0) continue;
-    std::unique_lock<std::mutex> lk(wake_mu_);
-    dispatcher_parked_.store(true, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lk(shard.wake_mu);
+    shard.parked.store(true, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    wake_cv_.wait_until(lk, earliest, [&] {
-      return queue_.size_approx() > 0 || stop_.load(std::memory_order_acquire);
+    shard.wake_cv.wait_until(lk, earliest, [&] {
+      return shard.queue.size_approx() > 0 ||
+             stop_.load(std::memory_order_acquire);
     });
-    dispatcher_parked_.store(false, std::memory_order_relaxed);
+    shard.parked.store(false, std::memory_order_relaxed);
   }
 }
 
 void RequestScheduler::shutdown() {
   stop_.store(true, std::memory_order_seq_cst);
-  wake_dispatcher();
+  for (auto& shard : shards_) wake_shard(*shard);
   bool expected = false;
   if (joined_.compare_exchange_strong(expected, true)) {
-    if (dispatcher_.joinable()) dispatcher_.join();
+    for (auto& shard : shards_) {
+      if (shard->dispatcher.joinable()) shard->dispatcher.join();
+    }
   }
 }
 
@@ -237,6 +359,12 @@ std::vector<ModelStats> RequestScheduler::stats() const {
               return a.model < b.model;
             });
   return out;
+}
+
+std::uint64_t RequestScheduler::steals(int s) const {
+  if (s < 0 || s >= shard_count()) return 0;
+  return shards_[static_cast<std::size_t>(s)]->stolen.load(
+      std::memory_order_relaxed);
 }
 
 }  // namespace plt::serving

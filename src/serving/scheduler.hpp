@@ -1,21 +1,36 @@
 // Micro-batching request scheduler: the serving layer's core. Producer
 // threads submit (session, in, out) requests into a lock-free MPMC admission
-// queue; one dispatcher thread drains it, groups compatible requests (same
+// queue; a dispatcher thread drains it, groups compatible requests (same
 // session => same model/shape/dtype by construction) and flushes a group as
 // one batch when it reaches PLT_SERVE_MAX_BATCH requests or its oldest
 // request has waited PLT_SERVE_BATCH_USECS microseconds.
 //
-// A batch executes as a single plt::parallel_region on the process-wide
-// persistent pool: team member t runs requests t, t+nthreads, ... each on
-// its own session lane, and every PARLOOPER nest inside a request degrades
-// to a serial walk (nested-region rule). So the per-batch dispatch cost is
-// one epoch bump — no per-request OpenMP region spawn, ever — and requests
-// in a batch run concurrently across the team.
+// Sharding. The scheduler is partitioned like the pool it dispatches onto:
+// one admission queue + one dispatcher thread per shard (auto = one per pool
+// partition; PLT_SERVE_SHARDS overrides). A session is pinned to the
+// partition holding its weights (ModelRegistry::add, or round-robin on first
+// submit) and its requests are admitted to that shard, whose dispatcher
+// executes each batch with run_on(partition) — so batches of sessions on
+// different partitions run CONCURRENTLY on disjoint sub-teams instead of
+// serializing one whole-team region at a time. An idle shard (empty queue,
+// nothing pending) steals requests from its siblings' queues; stolen batches
+// execute on the thief's partition and are counted per partition
+// (ThreadPool::note_steal). Per-session batches are serialized by the
+// session's exec mutex, so a stolen batch never races the home dispatcher on
+// the same lanes. With one shard the layout and execution path reduce
+// exactly to the pre-sharding scheduler (one queue, whole-team batches).
+//
+// A batch executes as one region on the persistent pool: team member t runs
+// requests t, t+nthreads, ... each on its own session lane, and every
+// PARLOOPER nest inside a request degrades to a serial walk (nested-region
+// rule). So the per-batch dispatch cost is one epoch bump — no per-request
+// OpenMP region spawn, ever.
 //
 // Determinism: a lane is a full model replica seeded identically to every
 // other lane, and a serial nest walk is bitwise-equal to a parallel one
 // (threading.hpp invariant), so batched execution is bitwise-identical to
-// sequential per-request execution. tests/test_serving.cpp asserts this.
+// sequential per-request execution — on any shard, stolen or not.
+// tests/test_serving.cpp asserts this for sharded and single-queue layouts.
 #pragma once
 
 #include <atomic>
@@ -37,7 +52,19 @@ namespace plt::serving {
 struct SchedulerConfig {
   int max_batch = 8;              // PLT_SERVE_MAX_BATCH
   std::int64_t batch_usecs = 200; // PLT_SERVE_BATCH_USECS (0 = flush asap)
-  std::size_t queue_capacity = 1024;  // PLT_SERVE_QUEUE_CAP
+  std::size_t queue_capacity = 1024;  // PLT_SERVE_QUEUE_CAP (per shard)
+
+  // PLT_SERVE_SHARDS: admission queues + dispatcher threads. 0 = auto (one
+  // per pool partition under the pool runtime, else 1). Any explicit count
+  // works: a home batch always executes on its session's own partition
+  // (weight locality is kept even with fewer shards than partitions), and
+  // with more shards than partitions the extra dispatchers share sub-teams
+  // — a partition contended by two dispatchers degrades the loser's batch
+  // to a serial region (documented run_on behaviour), never deadlocks.
+  int shards = 0;
+
+  // PLT_SERVE_STEAL: idle shards steal from siblings' queues (default on).
+  bool steal = true;
 
   // Reads the PLT_SERVE_* environment knobs (range-validated; bad values
   // warn and fall back to the defaults above).
@@ -117,15 +144,21 @@ class RequestScheduler {
                        const float* in, float* out);
 
   // Stops admission, drains every accepted request (in-flight work
-  // completes), then joins the dispatcher. Idempotent.
+  // completes), then joins every dispatcher. Idempotent.
   void shutdown();
 
   const SchedulerConfig& config() const { return cfg_; }
 
+  // Resolved shard count (>= 1; cfg.shards or the pool partition count).
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
   // Snapshot of the per-model counters (stable once shutdown() returned).
   std::vector<ModelStats> stats() const;
 
-  // Deepest admission-queue backlog observed by the dispatcher.
+  // Requests shard s popped from a sibling's queue (0 <= s < shard_count()).
+  std::uint64_t steals(int s) const;
+
+  // Deepest (queue + pending) backlog observed by any shard's dispatcher.
   std::size_t queue_depth_highwater() const {
     return queue_highwater_.load(std::memory_order_relaxed);
   }
@@ -137,22 +170,41 @@ class RequestScheduler {
     std::size_t highwater = 0;
   };
 
-  void dispatcher_main();
-  void execute_batch(Session* session,
+  // Per-shard admission queue + dispatcher + park/wake state. Heap-pinned
+  // (unique_ptr) so shards never move; each dispatcher only touches its own
+  // shard's lines on the steady-state path.
+  struct Shard {
+    explicit Shard(std::size_t queue_cap) : queue(queue_cap) {}
+    common::MpmcQueue<std::shared_ptr<detail::RequestState>> queue;
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+    std::atomic<bool> parked{false};
+    // True only while parked with NOTHING pending — the state in which the
+    // shard can act on a steal nudge (a deadline-parked shard has its own
+    // batches to run and ignores hints).
+    std::atomic<bool> idle_parked{false};
+    // Set by a submitter whose home dispatcher is busy: wakes this (idle-
+    // parked) shard to scan siblings' queues. Purely a latency hint — a
+    // missed nudge costs nothing, the home dispatcher drains its own queue.
+    std::atomic<bool> steal_hint{false};
+    std::atomic<std::uint64_t> stolen{0};  // requests taken from siblings
+    std::thread dispatcher;
+  };
+
+  void dispatcher_main(int s);
+  void execute_batch(int s, Session* session,
                      std::vector<std::shared_ptr<detail::RequestState>> reqs,
                      std::size_t pending_highwater);
-  void wake_dispatcher();
+  void wake_shard(Shard& shard);
+  int shard_of(Session* session);
 
   SchedulerConfig cfg_;
-  common::MpmcQueue<std::shared_ptr<detail::RequestState>> queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<bool> stop_{false};
   std::atomic<int> submitters_{0};  // producers currently inside submit()
   std::atomic<std::size_t> queue_highwater_{0};
-
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::atomic<bool> dispatcher_parked_{false};
+  std::atomic<int> rr_pin_{0};  // round-robin cursor for unpinned sessions
 
   mutable std::mutex stats_mu_;
   std::unordered_map<std::string, ModelStats> stats_;
@@ -164,7 +216,6 @@ class RequestScheduler {
   std::mutex done_mu_;
   std::condition_variable done_cv_;
 
-  std::thread dispatcher_;
   std::atomic<bool> joined_{false};
 };
 

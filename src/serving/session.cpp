@@ -1,10 +1,50 @@
 #include "serving/session.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/threading.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace plt::serving {
+
+namespace {
+
+// Moves the calling thread onto partition p's cores for the duration of a
+// scope and restores its previous affinity after. On partition 0 the caller
+// participates in run_on() regions as tid 0 (and IS the whole sub-team when
+// the partition has one member), so its warmup share would otherwise be
+// first-touched wherever the registering thread happens to run.
+class ScopedPartitionAffinity {
+ public:
+  explicit ScopedPartitionAffinity(int p) {
+#if defined(__linux__)
+    saved_ok_ = ::pthread_getaffinity_np(::pthread_self(), sizeof(saved_),
+                                         &saved_) == 0;
+#endif
+    ThreadPool::instance().pin_caller_to_partition(p);
+  }
+  ~ScopedPartitionAffinity() {
+#if defined(__linux__)
+    if (saved_ok_) {
+      ::pthread_setaffinity_np(::pthread_self(), sizeof(saved_), &saved_);
+    }
+#endif
+  }
+
+ private:
+#if defined(__linux__)
+  cpu_set_t saved_;
+#endif
+  bool saved_ok_ = false;
+};
+
+}  // namespace
 
 void Session::warmup() {
   std::vector<float> in(static_cast<std::size_t>(input_elems_));
@@ -12,6 +52,52 @@ void Session::warmup() {
   Xoshiro256 rng(0xC0FFEEull);
   fill_uniform(in.data(), in.size(), rng, -0.1f, 0.1f);
   for (int l = 0; l < lanes_; ++l) run(l, in.data(), out.data());
+}
+
+void Session::pin_partition(int p, bool first_touch) {
+  if (p < 0) return;
+  // Normalize against the real partition count: run_on() would wrap an
+  // out-of-range index anyway, but pin_caller_to_partition would silently
+  // no-op on it and partition() would report a sub-team that never runs
+  // this session's batches.
+  p %= std::max(1, pool_partitions());
+  partition_.store(p, std::memory_order_release);
+  if (!first_touch || runtime() != Runtime::kPool) return;
+  if (ThreadPool::instance().partitions() <= 1) return;
+  // Warmup on the owning partition: lanes are spread over its sub-team so
+  // every member faults in (and thereby places) the lazily-built per-lane
+  // state it will touch when serving real batches. Nests inside run() are
+  // nested regions and degrade to serial walks, exactly as during serving.
+  std::lock_guard<std::mutex> guard(exec_mu_);
+  std::vector<float> in(static_cast<std::size_t>(input_elems_));
+  std::vector<float> out(static_cast<std::size_t>(output_elems_));
+  Xoshiro256 rng(0xC0FFEEull);
+  fill_uniform(in.data(), in.size(), rng, -0.1f, 0.1f);
+  // The affinity scope moves this thread onto partition p's cores for the
+  // warmup, so placement is correct even when a busy partition degrades
+  // parallel_region_on to a serial run on the caller (and for the caller's
+  // own tid-0 share on partition 0): every first-touch happens on node p
+  // either way. One pass suffices — the lazily-built state is idempotent.
+  ScopedPartitionAffinity on_node(p);
+  parallel_region_on(p, [&](int tid, int nthreads) {
+    std::vector<float> local_out(out);  // lanes run concurrently
+    for (int l = tid; l < lanes_; l += nthreads) {
+      run(l, in.data(), local_out.data());
+    }
+  });
+}
+
+int Session::pin_partition_if_unpinned(int p) {
+  // Stored as given, NOT normalized: under non-pool runtimes (one fictive
+  // partition) the scheduler uses this value to spread sessions over its
+  // shards, and every executor wraps it modulo the real partition count.
+  // The pool-runtime caller (shard_of) already passes a normalized index.
+  int expected = -1;
+  if (partition_.compare_exchange_strong(expected, p,
+                                         std::memory_order_acq_rel)) {
+    return p;
+  }
+  return expected;
 }
 
 namespace {

@@ -18,8 +18,10 @@
 // dispatch story lifted from per-nest to per-request.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "dl/bert.hpp"
@@ -40,6 +42,31 @@ class Session {
   std::int64_t input_elems() const { return input_elems_; }
   std::int64_t output_elems() const { return output_elems_; }
   double flops_per_request() const { return flops_; }
+
+  // Pool partition this session's weights/scratch live on; -1 = unpinned.
+  // The sharded scheduler routes the session's batches to this partition.
+  int partition() const { return partition_.load(std::memory_order_acquire); }
+
+  // Pins the session to pool partition p (normalized modulo the pool's
+  // partition count, so partition() always names a real sub-team). With
+  // first_touch (the default and the ModelRegistry behaviour), a warmup
+  // pass re-runs on that partition's sub-team, so lazily-built state —
+  // per-token-count plans, decode scratch, flat schedules, JITed kernels —
+  // is allocated and first-touched by the threads that will serve the
+  // session's traffic (first-touch NUMA policy places those pages on the
+  // partition's node). Idempotent per target.
+  void pin_partition(int p, bool first_touch = true);
+
+  // Pins to p only if still unpinned; returns the resulting partition. Used
+  // by the scheduler on first submit (cheap: no warmup on the submit path).
+  // Unlike pin_partition, p is stored raw — under non-pool runtimes it acts
+  // as a shard-routing hint beyond the (single) real partition.
+  int pin_partition_if_unpinned(int p);
+
+  // Serializes batch execution on this session: a dispatcher that stole the
+  // session's requests must not run its lanes concurrently with the home
+  // dispatcher. Uncontended in steady state (one home dispatcher).
+  std::mutex& exec_mutex() { return exec_mu_; }
 
   // Runs one request on the given lane. Distinct lanes are safe to run
   // concurrently; the same lane must not be entered twice at once. Called
@@ -69,6 +96,8 @@ class Session {
   std::int64_t input_elems_;
   std::int64_t output_elems_;
   double flops_;
+  std::atomic<int> partition_{-1};
+  std::mutex exec_mu_;
 };
 
 // Stack of `layers` fully-connected layers, all `features` wide, over

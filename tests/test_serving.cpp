@@ -321,6 +321,164 @@ TEST(Scheduler, GracefulShutdownDrainsInFlightRequests) {
   EXPECT_TRUE(rejected.done());  // a rejected handle is trivially done
 }
 
+// --- scheduler: sharded layout ----------------------------------------------
+
+// The sharded scheduler (one queue + dispatcher per shard, pinned sessions,
+// idle-shard stealing) must produce results bitwise-identical to both the
+// single-queue scheduler and sequential execution — on any machine, any
+// partition count (shards above the partition count share sub-teams via the
+// documented run_on busy-degradation).
+TEST(Scheduler, ShardedMatchesSingleQueueBitwise) {
+  std::vector<std::shared_ptr<Session>> sessions = {
+      make_mlp_session("mlp_sh", tiny_mlp(), /*lanes=*/4, 61),
+      make_bert_session("bert_sh", tiny_bert(), /*lanes=*/4, 62),
+      make_llm_session("llm_sh", tiny_llm(), 4, 2, /*lanes=*/4, 63),
+  };
+  for (std::size_t m = 0; m < sessions.size(); ++m) {
+    sessions[m]->pin_partition(static_cast<int>(m));
+  }
+  constexpr int kPerModel = 8;
+
+  // Sequential reference.
+  std::vector<std::vector<std::vector<float>>> ins(sessions.size());
+  std::vector<std::vector<std::vector<float>>> want(sessions.size());
+  for (std::size_t m = 0; m < sessions.size(); ++m) {
+    for (int i = 0; i < kPerModel; ++i) {
+      ins[m].push_back(
+          make_input(*sessions[m], 200 + static_cast<std::uint64_t>(i)));
+      want[m].emplace_back(
+          static_cast<std::size_t>(sessions[m]->output_elems()));
+      sessions[m]->run(0, ins[m].back().data(), want[m].back().data());
+    }
+  }
+
+  for (const int shards : {1, 3}) {
+    SchedulerConfig cfg;
+    cfg.max_batch = 4;
+    cfg.batch_usecs = 200;
+    cfg.shards = shards;
+    RequestScheduler sched(cfg);
+    EXPECT_EQ(sched.shard_count(), shards);
+    std::vector<std::vector<std::vector<float>>> got(sessions.size());
+    std::vector<RequestHandle> handles;
+    for (std::size_t m = 0; m < sessions.size(); ++m) {
+      for (int i = 0; i < kPerModel; ++i) {
+        got[m].emplace_back(
+            static_cast<std::size_t>(sessions[m]->output_elems()));
+        handles.push_back(sched.submit(sessions[m],
+                                       ins[m][static_cast<std::size_t>(i)].data(),
+                                       got[m].back().data()));
+      }
+    }
+    for (auto& h : handles) {
+      ASSERT_TRUE(h.ok());
+      h.wait();
+    }
+    for (std::size_t m = 0; m < sessions.size(); ++m) {
+      for (int i = 0; i < kPerModel; ++i) {
+        EXPECT_EQ(0,
+                  std::memcmp(want[m][static_cast<std::size_t>(i)].data(),
+                              got[m][static_cast<std::size_t>(i)].data(),
+                              want[m][static_cast<std::size_t>(i)].size() *
+                                  sizeof(float)))
+            << sessions[m]->name() << " request " << i << " shards " << shards;
+      }
+    }
+    std::uint64_t total = 0;
+    for (const auto& st : sched.stats()) total += st.requests;
+    EXPECT_EQ(total,
+              static_cast<std::uint64_t>(sessions.size()) * kPerModel);
+  }
+}
+
+TEST(Scheduler, StealingDrainsABackloggedSiblingCorrectly) {
+  // Every session pinned to shard 0: shard 1 has an empty queue and may
+  // only serve by stealing. All requests must complete bitwise-correct no
+  // matter which shard executed them (lanes are identical replicas).
+  auto s = make_mlp_session("mlp_steal", tiny_mlp(), /*lanes=*/2, 71);
+  s->pin_partition(0);
+  const auto in = make_input(*s, 9);
+  std::vector<float> want(static_cast<std::size_t>(s->output_elems()));
+  s->run(0, in.data(), want.data());
+
+  SchedulerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.batch_usecs = 0;
+  cfg.shards = 2;
+  cfg.steal = true;
+  RequestScheduler sched(cfg);
+  constexpr int kReqs = 48;
+  std::vector<std::vector<float>> outs(
+      kReqs, std::vector<float>(static_cast<std::size_t>(s->output_elems())));
+  std::vector<RequestHandle> handles;
+  for (int i = 0; i < kReqs; ++i) {
+    handles.push_back(
+        sched.submit(s, in.data(), outs[static_cast<std::size_t>(i)].data()));
+  }
+  for (auto& h : handles) h.wait();
+  for (int i = 0; i < kReqs; ++i) {
+    EXPECT_EQ(0, std::memcmp(want.data(),
+                             outs[static_cast<std::size_t>(i)].data(),
+                             want.size() * sizeof(float)))
+        << "request " << i;
+  }
+  const auto stats = sched.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].requests, static_cast<std::uint64_t>(kReqs));
+  // Stolen work is bounded by what existed; shard 0 never steals (its own
+  // queue holds everything). Stealing itself is timing-dependent, so only
+  // the invariants are asserted, not a minimum count.
+  EXPECT_EQ(sched.steals(0), 0u);
+  EXPECT_LE(sched.steals(1), static_cast<std::uint64_t>(kReqs));
+  sched.shutdown();
+}
+
+TEST(Scheduler, DisabledStealingKeepsWorkOnTheHomeShard) {
+  auto s = make_mlp_session("mlp_nosteal", tiny_mlp(), /*lanes=*/2, 72);
+  s->pin_partition(0);
+  const auto in = make_input(*s, 10);
+  SchedulerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.batch_usecs = 0;
+  cfg.shards = 2;
+  cfg.steal = false;
+  RequestScheduler sched(cfg);
+  std::vector<float> out(static_cast<std::size_t>(s->output_elems()));
+  for (int i = 0; i < 8; ++i) {
+    auto h = sched.submit(s, in.data(), out.data());
+    h.wait();
+  }
+  EXPECT_EQ(sched.steals(0), 0u);
+  EXPECT_EQ(sched.steals(1), 0u);
+}
+
+TEST(Session, PinPartitionIsStickyAndFirstWins) {
+  auto s = make_mlp_session("mlp_pin", tiny_mlp(), /*lanes=*/1, 73);
+  EXPECT_EQ(s->partition(), -1);
+  // The CAS path stores the raw routing hint (the scheduler normalizes its
+  // own inputs); executors wrap it modulo the real partition count.
+  EXPECT_EQ(s->pin_partition_if_unpinned(2), 2);
+  EXPECT_EQ(s->pin_partition_if_unpinned(5), 2);  // already pinned: kept
+  // The explicit pin (warmup + caller affinity) normalizes to a real
+  // pool partition.
+  s->pin_partition(1);
+  EXPECT_EQ(s->partition(), 1 % pool_partitions());
+}
+
+TEST(ModelRegistry, RegistrationPinsSessionsToPartitions) {
+  ModelRegistry reg;
+  auto a = make_mlp_session("mlp_rr_a", tiny_mlp(), 1, 81);
+  auto b = make_mlp_session("mlp_rr_b", tiny_mlp(), 1, 82);
+  auto c = make_mlp_session("mlp_rr_c", tiny_mlp(), 1, 83);
+  reg.add(a);               // round-robin
+  reg.add(b);               // round-robin
+  reg.add(c, /*partition=*/0);  // explicit
+  const int nparts = pool_partitions();
+  EXPECT_EQ(a->partition(), 0 % nparts);
+  EXPECT_EQ(b->partition(), 1 % nparts);
+  EXPECT_EQ(c->partition(), 0);
+}
+
 // --- scheduler: concurrent mixed traffic -------------------------------------
 
 TEST(Scheduler, ConcurrentProducersAcrossModels) {

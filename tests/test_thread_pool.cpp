@@ -134,6 +134,286 @@ TEST(ThreadPool, NestedRegionDegradesToSerial) {
   set_runtime(saved);
 }
 
+// --- partitioned pool --------------------------------------------------------
+
+TEST(PartitionedPool, LayoutIsBalancedContiguousAndExact) {
+  // The split must be a pure function of (nthreads, nparts): balanced
+  // contiguous sub-teams, larger ones first, covering every slot.
+  ThreadPool pool(7, /*pin=*/false, /*partitions=*/3);
+  EXPECT_EQ(pool.size(), 7);
+  EXPECT_EQ(pool.partitions(), 3);
+  EXPECT_EQ(pool.partition_size(0), 3);
+  EXPECT_EQ(pool.partition_size(1), 2);
+  EXPECT_EQ(pool.partition_size(2), 2);
+  EXPECT_EQ(pool.partition_size(-1), 0);
+  EXPECT_EQ(pool.partition_size(3), 0);
+}
+
+TEST(PartitionedPool, PartitionCountClampsToTeamSize) {
+  ThreadPool pool(2, /*pin=*/false, /*partitions=*/8);
+  EXPECT_EQ(pool.partitions(), 2);
+  EXPECT_EQ(pool.partition_size(0), 1);
+  EXPECT_EQ(pool.partition_size(1), 1);
+}
+
+class PartitionedBarrierP : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionedBarrierP, HierarchicalBarrierStormUnderOversubscription) {
+  // 8 threads on however few cores the machine has, split into 1..4
+  // partitions: the hierarchical (leaf + root) barrier must still separate
+  // phases across the WHOLE team, not just within a partition.
+  constexpr int kThreads = 8, kPhases = 25;
+  ThreadPool pool(kThreads, /*pin=*/false, GetParam());
+  struct Ctx {
+    std::atomic<int> phase[kThreads];
+    std::atomic<int> violations{0};
+    ThreadPool* pool;
+  } ctx;
+  for (auto& p : ctx.phase) p.store(-1);
+  ctx.pool = &pool;
+  pool.run(
+      [](void* c, int tid, int nthreads) {
+        auto* x = static_cast<Ctx*>(c);
+        for (int ph = 0; ph < kPhases; ++ph) {
+          x->phase[tid].store(ph, std::memory_order_release);
+          x->pool->barrier(tid);
+          for (int t = 0; t < nthreads; ++t) {
+            if (x->phase[t].load(std::memory_order_acquire) < ph) {
+              x->violations.fetch_add(1);
+            }
+          }
+          x->pool->barrier(tid);
+        }
+      },
+      &ctx);
+  EXPECT_EQ(ctx.violations.load(), 0);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.team_regions, 1u);
+  EXPECT_GT(stats.barrier_epochs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, PartitionedBarrierP,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(PartitionedPool, WholeTeamResultsBitwiseIdenticalAcrossPartitionCounts) {
+  // Iteration partitioning is a pure function of (tid, nthreads), so a
+  // fixed-size team must produce byte-identical output no matter how many
+  // partitions it is split into (the ISSUE 5 determinism criterion).
+  constexpr int kThreads = 4;
+  constexpr std::size_t kN = 1 << 10;
+  const auto compute = [](ThreadPool& pool) {
+    std::vector<float> out(kN, 0.0f);
+    struct Ctx {
+      std::vector<float>* out;
+    } ctx{&out};
+    pool.run(
+        [](void* c, int tid, int nthreads) {
+          auto* x = static_cast<Ctx*>(c);
+          const std::size_t n = x->out->size();
+          for (std::size_t i = static_cast<std::size_t>(tid); i < n;
+               i += static_cast<std::size_t>(nthreads)) {
+            float acc = 0.0f;
+            for (int k = 1; k <= 16; ++k) {
+              acc += 1.0f / static_cast<float>(static_cast<int>(i) + k);
+            }
+            (*x->out)[i] = acc;
+          }
+        },
+        &ctx);
+    return out;
+  };
+  std::vector<std::vector<float>> results;
+  for (int parts : {1, 2, 3, 4}) {
+    ThreadPool pool(kThreads, /*pin=*/false, parts);
+    results.push_back(compute(pool));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(results[0].data(), results[i].data(),
+                             kN * sizeof(float)))
+        << "partitions config " << i;
+  }
+}
+
+TEST(PartitionedPool, RunOnExecutesConcurrentlyOnDistinctPartitions) {
+  // Two driver threads dispatch onto partitions 0 and 1 at the same time;
+  // both regions must run on their own sub-team (not degrade), and each
+  // must observe the other in flight at least once — proof the partitions
+  // do not serialize on a global dispatch lock.
+  ThreadPool pool(4, /*pin=*/false, /*partitions=*/2);
+  ASSERT_EQ(pool.partition_size(0), 2);
+  ASSERT_EQ(pool.partition_size(1), 2);
+  struct Ctx {
+    ThreadPool* pool;
+    std::atomic<int> active[2];
+    std::atomic<int> overlapped{0};
+    std::atomic<int> ran[2];
+    std::atomic<bool> go{false};
+  } ctx;
+  ctx.pool = &pool;
+  for (auto& a : ctx.active) a.store(0);
+  for (auto& r : ctx.ran) r.store(0);
+
+  const auto driver = [&ctx](int part) {
+    while (!ctx.go.load(std::memory_order_acquire)) std::this_thread::yield();
+    struct Arg {
+      Ctx* ctx;
+      int part;
+    } arg{&ctx, part};
+    for (int rep = 0; rep < 50; ++rep) {
+      const bool on_team = ctx.pool->run_on(
+          part,
+          [](void* c, int tid, int nthreads) {
+            auto* a = static_cast<Arg*>(c);
+            a->ctx->ran[a->part].fetch_add(1);
+            if (tid == 0) {
+              a->ctx->active[a->part].store(1, std::memory_order_release);
+              if (a->ctx->active[1 - a->part].load(
+                      std::memory_order_acquire) != 0) {
+                a->ctx->overlapped.fetch_add(1);
+              }
+            }
+            a->ctx->pool->barrier(tid);
+            EXPECT_EQ(nthreads, 2);
+            if (tid == 0) {
+              a->ctx->active[a->part].store(0, std::memory_order_release);
+            }
+          },
+          &arg);
+      EXPECT_TRUE(on_team) << "partition " << part << " rep " << rep;
+    }
+  };
+  std::thread t0(driver, 0), t1(driver, 1);
+  ctx.go.store(true, std::memory_order_release);
+  t0.join();
+  t1.join();
+  // Every region ran on a 2-member sub-team: 50 reps x 2 members each.
+  EXPECT_EQ(ctx.ran[0].load(), 100);
+  EXPECT_EQ(ctx.ran[1].load(), 100);
+  // With enough real cores for both sub-teams, 50 reps per side must
+  // overlap at least once — a global dispatch lock serializing run_on()
+  // would keep this at 0. (Single-core machines time-slice; overlap is
+  // then possible but not guaranteed, so the assertion is gated.)
+  if (std::thread::hardware_concurrency() >= 4) {
+    EXPECT_GT(ctx.overlapped.load(), 0);
+  }
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.partition[0].regions, 50u);
+  EXPECT_EQ(stats.partition[1].regions, 50u);
+  EXPECT_EQ(stats.serial_degradations, 0u);
+}
+
+TEST(PartitionedPool, RunOnMatchesSerialReferenceBitwise) {
+  // The same reduction run serially, on partition 0, and on partition 1
+  // must agree byte for byte: a sub-team region is still a pure
+  // (tid, nthreads) partitioning of the iteration space.
+  ThreadPool pool(4, /*pin=*/false, /*partitions=*/2);
+  constexpr std::size_t kN = 512;
+  const auto compute = [&](int mode) {  // -1 = serial, else partition
+    std::vector<float> out(kN, 0.0f);
+    struct Ctx {
+      std::vector<float>* out;
+    } ctx{&out};
+    const ThreadPool::RegionFn fn = [](void* c, int tid, int nthreads) {
+      auto* x = static_cast<Ctx*>(c);
+      for (std::size_t i = static_cast<std::size_t>(tid); i < x->out->size();
+           i += static_cast<std::size_t>(nthreads)) {
+        float acc = 0.0f;
+        for (int k = 1; k <= 8; ++k) {
+          acc += static_cast<float>(static_cast<int>(i) * k) * 0.03125f;
+        }
+        (*x->out)[i] = acc;
+      }
+    };
+    if (mode < 0) {
+      fn(&ctx, 0, 1);
+    } else {
+      EXPECT_TRUE(pool.run_on(mode, fn, &ctx));
+    }
+    return out;
+  };
+  const auto serial = compute(-1);
+  const auto p0 = compute(0);
+  const auto p1 = compute(1);
+  EXPECT_EQ(0, std::memcmp(serial.data(), p0.data(), kN * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(serial.data(), p1.data(), kN * sizeof(float)));
+}
+
+TEST(PartitionedPool, BusyPartitionDegradesRunOnToSerial) {
+  ThreadPool pool(4, /*pin=*/false, /*partitions=*/2);
+  struct Ctx {
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    std::atomic<int> inner_runs{0};
+  } ctx;
+
+  std::thread holder([&] {
+    pool.run_on(
+        1,
+        [](void* c, int, int) {
+          auto* x = static_cast<Ctx*>(c);
+          x->started.store(true, std::memory_order_release);
+          while (!x->release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        },
+        &ctx);
+  });
+  while (!ctx.started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Partition 1 is owned by `holder`: this dispatch must degrade to a
+  // serial call (returning false) yet still execute the region body.
+  const bool on_team = pool.run_on(
+      1,
+      [](void* c, int tid, int nthreads) {
+        auto* x = static_cast<Ctx*>(c);
+        EXPECT_EQ(tid, 0);
+        EXPECT_EQ(nthreads, 1);
+        x->inner_runs.fetch_add(1);
+      },
+      &ctx);
+  EXPECT_FALSE(on_team);
+  EXPECT_EQ(ctx.inner_runs.load(), 1);
+  ctx.release.store(true, std::memory_order_release);
+  holder.join();
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.serial_degradations, 1u);
+  EXPECT_EQ(stats.partition[1].regions, 1u);  // only the holder's region
+}
+
+TEST(PartitionedPool, StatsCountRegionsDegradationsAndSteals) {
+  ThreadPool pool(4, /*pin=*/false, /*partitions=*/2);
+  struct Ctx {
+    ThreadPool* pool;
+  } ctx{&pool};
+  for (int i = 0; i < 3; ++i) {
+    pool.run([](void*, int, int) {}, &ctx);
+  }
+  for (int i = 0; i < 2; ++i) {
+    pool.run_on(1, [](void*, int, int) {}, &ctx);
+  }
+  // Nested dispatch from every team member: 4 serial degradations exactly.
+  pool.run(
+      [](void* c, int, int) {
+        auto* x = static_cast<Ctx*>(c);
+        x->pool->run([](void*, int, int) {}, nullptr);
+      },
+      &ctx);
+  pool.note_steal(0);
+  pool.note_steal(1);
+  pool.note_steal(1);
+  pool.note_steal(99);  // out of range: ignored
+
+  const auto s = pool.stats();
+  EXPECT_EQ(s.team_regions, 4u);  // 3 + the outer nested-test region
+  EXPECT_EQ(s.serial_degradations, 4u);
+  ASSERT_EQ(s.partition.size(), 2u);
+  EXPECT_EQ(s.partition[0].regions, 0u);
+  EXPECT_EQ(s.partition[1].regions, 2u);
+  EXPECT_EQ(s.partition[0].steals, 1u);
+  EXPECT_EQ(s.partition[1].steals, 2u);
+}
+
 // --- cross-runtime determinism ----------------------------------------------
 
 struct Coverage {

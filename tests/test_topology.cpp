@@ -1,0 +1,142 @@
+// Topology-discovery tests: kernel cpulist parsing (well-formed and
+// malformed), sysfs-style node-directory parsing against a mocked directory
+// tree, and the PLT_TOPOLOGY_DIR detection override with its flat fallback.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/topology.hpp"
+
+namespace plt::common {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- cpulist parsing ---------------------------------------------------------
+
+TEST(ParseCpuList, SinglesRangesAndMixes) {
+  EXPECT_EQ(parse_cpu_list("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpu_list("7"), (std::vector<int>{7}));
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpu_list("5-5"), (std::vector<int>{5}));
+}
+
+TEST(ParseCpuList, SysfsTrailingNewlineAndDedup) {
+  EXPECT_EQ(parse_cpu_list("0-1\n"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(parse_cpu_list("2,0-2,1"), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(parse_cpu_list("  \n"), (std::vector<int>{}));
+  EXPECT_EQ(parse_cpu_list(""), (std::vector<int>{}));
+}
+
+TEST(ParseCpuList, MalformedInputsReturnEmpty) {
+  EXPECT_TRUE(parse_cpu_list("a").empty());
+  EXPECT_TRUE(parse_cpu_list("0-").empty());
+  EXPECT_TRUE(parse_cpu_list("3-1").empty());   // inverted range
+  EXPECT_TRUE(parse_cpu_list("0,,1").empty());  // empty piece
+  EXPECT_TRUE(parse_cpu_list("0-2x").empty());  // trailing garbage
+  EXPECT_TRUE(parse_cpu_list("-1").empty());    // negative
+  EXPECT_TRUE(parse_cpu_list("0:3").empty());   // wrong separator
+}
+
+// --- mocked sysfs directory --------------------------------------------------
+
+// Builds a sysfs-shaped node dir under a fresh temp root; removed on
+// destruction. Layout mirrors /sys/devices/system/node: node<N>/cpulist
+// files next to non-node entries that the parser must skip.
+class MockNodeDir {
+ public:
+  MockNodeDir() {
+    root_ = fs::temp_directory_path() /
+            ("plt_topo_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(root_);
+  }
+  ~MockNodeDir() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void add_node(int id, const std::string& cpulist) {
+    const fs::path dir = root_ / ("node" + std::to_string(id));
+    fs::create_directories(dir);
+    std::ofstream os(dir / "cpulist");
+    os << cpulist;
+  }
+  void add_noise() {
+    fs::create_directories(root_ / "nodeX");  // non-numeric suffix
+    fs::create_directories(root_ / "power");  // unrelated dir
+    std::ofstream(root_ / "has_cpu") << "0-1\n";  // plain file
+    fs::create_directories(root_ / "node9");      // node without cpulist
+  }
+
+  std::string path() const { return root_.string(); }
+
+ private:
+  fs::path root_;
+  static int counter_;
+};
+int MockNodeDir::counter_ = 0;
+
+TEST(Topology, FromDirParsesNodesAndSkipsNoise) {
+  MockNodeDir mock;
+  mock.add_node(1, "2-3\n");
+  mock.add_node(0, "0-1\n");
+  mock.add_noise();
+  mock.add_node(2, "\n");       // empty cpulist: skipped
+  mock.add_node(3, "oops\n");   // malformed cpulist: skipped
+
+  const Topology topo = Topology::from_dir(mock.path());
+  ASSERT_EQ(topo.nodes.size(), 2u);  // sorted by id, noise ignored
+  EXPECT_EQ(topo.nodes[0].id, 0);
+  EXPECT_EQ(topo.nodes[0].cpus, (std::vector<int>{0, 1}));
+  EXPECT_EQ(topo.nodes[1].id, 1);
+  EXPECT_EQ(topo.nodes[1].cpus, (std::vector<int>{2, 3}));
+  EXPECT_EQ(topo.total_cpus(), 4);
+}
+
+TEST(Topology, FromDirOnMissingDirectoryIsEmpty) {
+  EXPECT_TRUE(Topology::from_dir("/nonexistent/plt/nodes").nodes.empty());
+}
+
+TEST(Topology, DetectHonorsTopologyDirOverride) {
+  MockNodeDir mock;
+  mock.add_node(0, "0-3\n");
+  mock.add_node(1, "4-7\n");
+  ::setenv("PLT_TOPOLOGY_DIR", mock.path().c_str(), 1);
+  const Topology topo = Topology::detect();
+  ::unsetenv("PLT_TOPOLOGY_DIR");
+  ASSERT_EQ(topo.nodes.size(), 2u);
+  EXPECT_EQ(topo.total_cpus(), 8);
+}
+
+TEST(Topology, DetectFallsBackWhenOverrideIsUnusable) {
+  ::setenv("PLT_TOPOLOGY_DIR", "/nonexistent/plt/nodes", 1);
+  const Topology topo = Topology::detect();
+  ::unsetenv("PLT_TOPOLOGY_DIR");
+  // Never empty: one flat node covering every hardware thread.
+  ASSERT_EQ(topo.nodes.size(), 1u);
+  EXPECT_EQ(topo.nodes[0].id, 0);
+  const unsigned hc = std::thread::hardware_concurrency();
+  EXPECT_EQ(topo.total_cpus(),
+            static_cast<int>(hc == 0 ? 1 : hc));
+}
+
+TEST(Topology, FallbackClampsToAtLeastOneCpu) {
+  EXPECT_EQ(Topology::fallback(0).total_cpus(), 1);
+  EXPECT_EQ(Topology::fallback(-5).total_cpus(), 1);
+  const Topology t = Topology::fallback(6);
+  ASSERT_EQ(t.nodes.size(), 1u);
+  EXPECT_EQ(t.nodes[0].cpus, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace plt::common
