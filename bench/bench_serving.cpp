@@ -10,6 +10,9 @@
 //     queue + dispatcher per pool partition, sessions pinned to partitions,
 //     idle-shard work stealing) and serving_sharded_vs_single (ratio)
 //   serve_<model>_* per-model latency/throughput/queue-depth stats
+//   serving_<terminal>_requests terminal accounting counters (submitted ==
+//     completed + failed + expired + shed + rejected; all but completed are 0
+//     on a clean run — chaos runs with PLT_FAULT_SPEC move the split)
 //   pool_* ThreadPool::stats() dispatch/steal counters
 // bench/check_overhead.py --serving gates the scheduler-vs-naive speedup in
 // CI (>= 1.5x); --partitioned gates sharded-vs-single (>= 1.3x with
@@ -329,6 +332,19 @@ int main(int argc, char** argv) {
   json.add_value("serving_queue_depth_highwater",
                  static_cast<double>(sched.queue_depth_highwater()),
                  "requests");
+  const auto counters = sched.counters();
+  json.add_value("serving_submitted_requests",
+                 static_cast<double>(counters.submitted), "requests");
+  json.add_value("serving_completed_requests",
+                 static_cast<double>(counters.completed), "requests");
+  json.add_value("serving_failed_requests",
+                 static_cast<double>(counters.failed), "requests");
+  json.add_value("serving_expired_requests",
+                 static_cast<double>(counters.expired), "requests");
+  json.add_value("serving_shed_requests",
+                 static_cast<double>(counters.shed), "requests");
+  json.add_value("serving_rejected_requests",
+                 static_cast<double>(counters.rejected), "requests");
   bench::report_pool_stats(json);
 
   // Determinism gate: batched == sequential, byte for byte, per request —

@@ -1,18 +1,25 @@
 // Serving-layer demo: registers BERT + MLP + LLM sessions in the model
 // registry, starts the micro-batching request scheduler, and drives mixed
 // traffic from several client threads — the production-shaped entry point
-// the ROADMAP's "batch/server layer" item asks for.
+// the ROADMAP's "batch/server layer" item asks for. Every handle is resolved
+// through the Status API, and the tail of the run showcases the failure
+// semantics: a request with an impossible deadline (DEADLINE_EXCEEDED), an
+// injected kernel fault (INTERNAL + quarantine), and recovery.
 //
 //   ./example_serve_demo [seconds]
 //
 // Knobs: PLT_SERVE_MAX_BATCH, PLT_SERVE_BATCH_USECS, PLT_SERVE_QUEUE_CAP,
-// PLT_NUM_THREADS, PLT_RUNTIME.
+// PLT_SERVE_DEADLINE_USECS, PLT_NUM_THREADS, PLT_RUNTIME, and the chaos pair
+// PLT_FAULT_SPEC / PLT_FAULT_SEED (e.g. PLT_FAULT_SPEC=kernel_exec:throw:0.01
+// fails ~1% of requests INTERNAL while everything else keeps serving).
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
+#include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "serving/model_registry.hpp"
@@ -71,6 +78,7 @@ int main(int argc, char** argv) {
   constexpr int kClients = 4;
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> not_ok{0};
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
@@ -83,9 +91,19 @@ int main(int argc, char** argv) {
         std::vector<float> out(static_cast<std::size_t>(s->output_elems()));
         fill_uniform(in.data(), in.size(), rng, -1.0f, 1.0f);
         auto h = scheduler.submit(s, in.data(), out.data());
-        if (!h.ok()) break;
+        if (!h.ok()) {
+          // Shed/rejected at admission (or scheduler shut down): the handle
+          // is already terminal with the reason attached.
+          not_ok.fetch_add(1, std::memory_order_relaxed);
+          if (h.status().code() == StatusCode::kUnavailable) break;
+          continue;
+        }
         h.wait();
-        completed.fetch_add(1, std::memory_order_relaxed);
+        if (h.status().ok()) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          not_ok.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     });
   }
@@ -99,9 +117,10 @@ int main(int argc, char** argv) {
   const double secs = t.seconds();
   scheduler.shutdown();
 
-  std::printf("\n%.1fs of mixed traffic from %d clients: %llu requests "
-              "(%.1f req/s aggregate)\n\n", secs, kClients,
+  std::printf("\n%.1fs of mixed traffic from %d clients: %llu OK, %llu "
+              "not-OK (%.1f req/s aggregate)\n\n", secs, kClients,
               static_cast<unsigned long long>(completed.load()),
+              static_cast<unsigned long long>(not_ok.load()),
               completed.load() / secs);
   std::printf("%-8s %9s %8s %11s %11s %11s %7s\n", "model", "requests",
               "batches", "mean batch", "mean lat us", "max lat us", "depth");
@@ -115,5 +134,53 @@ int main(int argc, char** argv) {
   }
   std::printf("admission-queue depth highwater: %zu\n",
               scheduler.queue_depth_highwater());
+  const auto c = scheduler.counters();
+  std::printf("terminal accounting: %llu submitted = %llu completed + %llu "
+              "failed + %llu expired + %llu shed + %llu rejected\n",
+              static_cast<unsigned long long>(c.submitted),
+              static_cast<unsigned long long>(c.completed),
+              static_cast<unsigned long long>(c.failed),
+              static_cast<unsigned long long>(c.expired),
+              static_cast<unsigned long long>(c.shed),
+              static_cast<unsigned long long>(c.rejected));
+
+  // --- failure-semantics showcase -----------------------------------------
+  // A second scheduler so the demo's deliberate failures don't pollute the
+  // traffic stats above.
+  std::printf("\nfailure semantics:\n");
+  serving::RequestScheduler demo(cfg);
+  const auto& victim = sessions[0];
+  std::vector<float> in(static_cast<std::size_t>(victim->input_elems()), 0.5f);
+  std::vector<float> out(static_cast<std::size_t>(victim->output_elems()));
+  const auto show = [&](const char* what, const serving::RequestHandle& h) {
+    std::printf("  %-34s -> %s (%.1f us)\n", what, h.status().to_string().c_str(),
+                h.latency_us());
+  };
+
+  serving::SubmitOptions rush;
+  rush.deadline_usecs = 1;  // expires while queued: never executes
+  auto h_dl = demo.submit(victim, in.data(), out.data(), rush);
+  h_dl.wait();
+  show("deadline_usecs=1", h_dl);
+
+  common::fault::configure("kernel_exec:throw:1.0", /*seed=*/1);
+  auto h_fault = demo.submit(victim, in.data(), out.data());
+  h_fault.wait();
+  common::fault::reset();
+  show("kernel_exec:throw:1.0 injected", h_fault);
+
+  // The poisoned request quarantined its session; everyone else still serves.
+  auto h_q = demo.submit(victim, in.data(), out.data());
+  show("submit to quarantined session", h_q);
+  auto h_other = demo.submit(sessions[1 % sessions.size()],
+                             in.data(), out.data());
+  h_other.wait();
+  show("submit to healthy session", h_other);
+
+  victim->mark_healthy();
+  auto h_back = demo.submit(victim, in.data(), out.data());
+  h_back.wait();
+  show("after mark_healthy()", h_back);
+  demo.shutdown();
   return 0;
 }

@@ -57,7 +57,8 @@ class AlignedBuffer {
     if (n == 0) return;
     const std::size_t bytes = ((n * sizeof(T) + kCacheLine - 1) / kCacheLine) * kCacheLine;
     data_ = static_cast<T*>(std::aligned_alloc(kCacheLine, bytes));
-    if (data_ == nullptr) throw std::bad_alloc();
+    PLT_ENSURE(data_ != nullptr, StatusCode::kResourceExhausted,
+               "aligned_alloc failed");
     size_ = n;
   }
 

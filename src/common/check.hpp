@@ -1,13 +1,23 @@
 // Lightweight contract-checking macros used across the library.
 //
-// PLT_CHECK is always on (it guards API misuse that would otherwise corrupt
-// memory); PLT_DCHECK compiles out in release builds and is used on hot
-// paths. Both throw std::invalid_argument so callers and tests can recover.
+// Two failure families, split so the exception firewalls (thread pool,
+// request scheduler) can map exception -> Status without string matching:
+//
+//   PLT_CHECK(expr, msg)         API misuse (bad shapes, null sessions).
+//                                Always on; throws std::invalid_argument.
+//   PLT_ENSURE(expr, code, msg)  Runtime/environment failure (compiler
+//                                missing, allocation, injected fault).
+//                                Always on; throws plt::RuntimeError
+//                                carrying the given plt::StatusCode.
+//   PLT_DCHECK(expr, msg)        PLT_CHECK that compiles out in release
+//                                builds; used on hot paths.
 #pragma once
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "common/status.hpp"
 
 namespace plt {
 
@@ -19,11 +29,27 @@ namespace plt {
   throw std::invalid_argument(os.str());
 }
 
+[[noreturn]] inline void ensure_failed(const char* expr, const char* file,
+                                       int line, StatusCode code,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "ensure failed (" << status_code_name(code) << "): " << expr << " at "
+     << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw RuntimeError(code, os.str());
+}
+
 }  // namespace plt
 
 #define PLT_CHECK(expr, msg)                                   \
   do {                                                         \
     if (!(expr)) ::plt::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define PLT_ENSURE(expr, code, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::plt::ensure_failed(#expr, __FILE__, __LINE__, (code), (msg));   \
   } while (0)
 
 #if defined(NDEBUG)

@@ -1,0 +1,88 @@
+// Deterministic, seeded fault injection — the hook chaos tests, the CI
+// chaos job, and future retry/watchdog logic drive.
+//
+// Grammar (PLT_FAULT_SPEC): semicolon-separated `site:kind:prob` triples,
+// e.g.
+//
+//   PLT_FAULT_SPEC="kernel_exec:throw:0.01;queue_push:full:0.05"
+//   PLT_FAULT_SEED=42
+//
+// Sites: kernel_exec (PARLOOPER nest dispatch), queue_push (serving
+// admission queue), session_warmup (Session::warmup), registry_lookup
+// (ModelRegistry::lookup). Kinds: `throw` (plt::RuntimeError, kInternal),
+// `full`/`fail` (the site reports its non-exceptional failure: a full queue,
+// a failed lookup). A malformed triple warns and is dropped; it never arms.
+//
+// Determinism. Each site keeps an atomic event counter; event n fires iff
+// splitmix64(seed ^ site ^ n) maps below the armed probability. For a fixed
+// seed the fired SUBSET {n} per site is exactly reproducible; which request
+// draws which event number depends on thread interleaving, so chaos tests
+// assert counter accounting and per-status invariants, not request
+// identities.
+//
+// Cost when unset: one relaxed atomic load + branch per site (the spec is
+// compiled in always — no rebuild needed to chaos-test a production binary).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace plt::common::fault {
+
+enum class Site : int {
+  kKernelExec = 0,
+  kQueuePush = 1,
+  kSessionWarmup = 2,
+  kRegistryLookup = 3,
+};
+inline constexpr int kSiteCount = 4;
+
+enum class Kind : int {
+  kNone = 0,   // site not armed / did not fire
+  kThrow = 1,  // site throws plt::RuntimeError(kInternal, ...)
+  kFull = 2,   // site reports a full-queue / backpressure condition
+  kFail = 3,   // site reports a non-exceptional failure (status, nullptr)
+};
+
+const char* site_name(Site s);
+
+// True when any site is armed (spec parsed from env or configure()).
+bool enabled();
+
+// Evaluates the site's fault point: bumps the event counter and returns the
+// armed Kind when this event fires, kNone otherwise. Suppressed scopes (see
+// SuppressGuard) and unarmed sites return kNone without consuming an event.
+Kind should_inject(Site s);
+
+// Convenience for `throw`-kind sites: calls should_inject and throws
+// plt::RuntimeError(kInternal, "injected fault at <site>") when it fires.
+// Returns the Kind for sites that also handle full/fail inline.
+Kind fire_point(Site s);
+
+// Exact accounting for tests and the CI chaos job.
+std::uint64_t evaluated(Site s);  // events drawn at this site
+std::uint64_t injected(Site s);   // events that fired
+
+// Programmatic (re)configuration — what PLT_FAULT_SPEC/PLT_FAULT_SEED do
+// from the environment, callable from tests and demos. Resets all counters.
+// An empty spec disarms every site.
+void configure(const std::string& spec, std::uint64_t seed);
+
+// Disarms all sites and resets counters.
+void reset();
+
+// Scoped suppression (process-global, reference-counted): construction and
+// warmup paths run real kernels through the kernel_exec site, but a fault
+// there is construction noise, not serving chaos — Session::warmup and the
+// first-touch pin warmup suppress injection for their duration. The guard
+// is global (warmup fans out onto pool workers), so chaos specs should be
+// armed while no session is concurrently constructing.
+class SuppressGuard {
+ public:
+  SuppressGuard();
+  ~SuppressGuard();
+  SuppressGuard(const SuppressGuard&) = delete;
+  SuppressGuard& operator=(const SuppressGuard&) = delete;
+};
+
+}  // namespace plt::common::fault

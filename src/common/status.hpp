@@ -1,0 +1,140 @@
+// Status / StatusOr: the error currency of the serving stack.
+//
+// The serving layer multiplexes many independent requests onto shared
+// threads, so a failure must travel as a *value* attached to the request it
+// belongs to — never as an exception unwinding a pool worker (which would
+// call std::terminate) and never as a bare bool that loses the reason. The
+// exception firewalls (ThreadPool regions, RequestScheduler batches) catch
+// at the boundary and convert to Status via status_from_exception(); the
+// wire front-end (ROADMAP) will map StatusCode 1:1 onto wire status codes.
+#pragma once
+
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace plt {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,    // API misuse: bad shapes, unknown names
+  kDeadlineExceeded = 2,   // request deadline passed before execution
+  kUnavailable = 3,        // shutdown, quarantined session, missing backend
+  kResourceExhausted = 4,  // load shed: saturated queue, allocation failure
+  kInternal = 5,           // kernel/runtime failure (incl. injected faults)
+};
+
+inline const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "OK";
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Runtime/environment failure carrying a StatusCode, thrown by PLT_ENSURE
+// (common/check.hpp). Firewalls map it back to a Status without string
+// matching; PLT_CHECK (API misuse) keeps throwing std::invalid_argument.
+class RuntimeError : public std::runtime_error {
+ public:
+  RuntimeError(StatusCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  StatusCode code() const { return code_; }
+  Status to_status() const { return Status(code_, what()); }
+
+ private:
+  StatusCode code_;
+};
+
+// Exception -> Status mapping used by every firewall:
+//   RuntimeError          -> its own code (PLT_ENSURE sites, injected faults)
+//   std::invalid_argument -> kInvalidArgument (PLT_CHECK sites)
+//   std::bad_alloc        -> kResourceExhausted
+//   anything else         -> kInternal
+inline Status status_from_exception(const std::exception& e) {
+  if (const auto* re = dynamic_cast<const RuntimeError*>(&e)) {
+    return re->to_status();
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return Status::InvalidArgument(e.what());
+  }
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    return Status::ResourceExhausted(e.what());
+  }
+  return Status::Internal(e.what());
+}
+
+// Status + value, for lookups that can fail (ModelRegistry::lookup). Minimal
+// on purpose: value() requires ok() (checked), no exception-based accessors.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status st) : status_(std::move(st)) {}        // NOLINT(runtime/explicit)
+  StatusOr(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const {
+    if (!ok()) throw RuntimeError(status_.code(), status_.to_string());
+    return value_;
+  }
+  T& value() {
+    if (!ok()) throw RuntimeError(status_.code(), status_.to_string());
+    return value_;
+  }
+  T value_or(T def) const { return ok() ? value_ : std::move(def); }
+
+ private:
+  Status status_;  // OK when a value is held
+  T value_{};
+};
+
+}  // namespace plt

@@ -62,6 +62,19 @@ bool pinning_enabled() {
   return v;
 }
 
+// Resets the thread-local region context even when the region body throws:
+// serial, degraded, and caller-participates paths all propagate exceptions
+// through the frame that set the context, and a leaked active context would
+// degrade every later region to serial.
+struct ScopedRegionContext {
+  explicit ScopedRegionContext(const detail::RegionContext& v) {
+    detail::region_context() = v;
+  }
+  ~ScopedRegionContext() { detail::region_context() = {}; }
+  ScopedRegionContext(const ScopedRegionContext&) = delete;
+  ScopedRegionContext& operator=(const ScopedRegionContext&) = delete;
+};
+
 }  // namespace
 
 namespace detail {
@@ -271,15 +284,27 @@ void ThreadPool::worker_main(int g) {
     if (shutdown_.load(std::memory_order_acquire)) return;
     last_epoch = part.epoch.load(std::memory_order_acquire);
 
-    detail::RegionContext& ctx = detail::region_context();
-    if (part.scope == Scope::kTeam) {
-      ctx = {this, g, nthreads_, true, -1};
-      part.fn(part.ctx, g, nthreads_);
-    } else {
-      ctx = {this, l, part.count, true, p};
-      part.fn(part.ctx, l, part.count);
+    // Exception firewall: anything escaping fn here would otherwise reach
+    // the top of this thread and std::terminate. RegionAborted is the
+    // barrier-unwind marker, not a failure in itself.
+    const Scope scope = part.scope;
+    {
+      ScopedRegionContext ctx(scope == Scope::kTeam
+                                  ? detail::RegionContext{this, g, nthreads_,
+                                                          true, -1}
+                                  : detail::RegionContext{this, l, part.count,
+                                                          true, p});
+      try {
+        if (scope == Scope::kTeam) {
+          part.fn(part.ctx, g, nthreads_);
+        } else {
+          part.fn(part.ctx, l, part.count);
+        }
+      } catch (const detail::RegionAborted&) {
+      } catch (...) {
+        record_region_exception(scope, part);
+      }
     }
-    ctx = {};
 
     if (part.done.fetch_add(1, std::memory_order_acq_rel) ==
         expected_done(part, p) - 1) {
@@ -290,11 +315,34 @@ void ThreadPool::worker_main(int g) {
   }
 }
 
+void ThreadPool::record_region_exception(Scope scope, Partition& part) {
+  if (scope == Scope::kTeam) {
+    {
+      std::lock_guard<std::mutex> g(team_exc_mu_);
+      if (!team_exc_) team_exc_ = std::current_exception();
+    }
+    team_abort_.store(true, std::memory_order_release);
+  } else {
+    {
+      std::lock_guard<std::mutex> g(part.exc_mu);
+      if (!part.exc) part.exc = std::current_exception();
+    }
+    part.abort.store(true, std::memory_order_release);
+  }
+}
+
 void ThreadPool::publish(Partition& part, Scope scope, RegionFn fn,
                          void* ctx) {
   part.fn = fn;
   part.ctx = ctx;
   part.scope = scope;
+  // Clear partition-scope firewall state from any previous run_on() region
+  // before members can observe the new epoch.
+  part.abort.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(part.exc_mu);
+    part.exc = nullptr;
+  }
   part.done.store(0, std::memory_order_relaxed);
   part.epoch.fetch_add(1, std::memory_order_acq_rel);
   {
@@ -332,9 +380,8 @@ void ThreadPool::run(RegionFn fn, void* ctx) {
   }
   if (nthreads_ == 1) {
     team_regions_.fetch_add(1, std::memory_order_relaxed);
-    rc = {this, 0, 1, true, -1};
-    fn(ctx, 0, 1);
-    rc = {};
+    ScopedRegionContext src({this, 0, 1, true, -1});
+    fn(ctx, 0, 1);  // exceptions propagate to the caller directly
     return;
   }
 
@@ -354,21 +401,48 @@ void ThreadPool::run(RegionFn fn, void* ctx) {
       parts_[static_cast<std::size_t>(p)]->dispatch_mu.unlock();
     }
     serial_degradations_.fetch_add(1, std::memory_order_relaxed);
-    rc = {this, 0, 1, true, -1};
+    ScopedRegionContext src({this, 0, 1, true, -1});
     fn(ctx, 0, 1);
-    rc = {};
     return;
   }
 
   team_regions_.fetch_add(1, std::memory_order_relaxed);
+  team_abort_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(team_exc_mu_);
+    team_exc_ = nullptr;
+  }
   for (auto& part : parts_) publish(*part, Scope::kTeam, fn, ctx);
 
-  rc = {this, 0, nthreads_, true, -1};
-  fn(ctx, 0, nthreads_);
-  rc = {};
+  {
+    ScopedRegionContext src({this, 0, nthreads_, true, -1});
+    try {
+      fn(ctx, 0, nthreads_);
+    } catch (const detail::RegionAborted&) {
+    } catch (...) {
+      record_region_exception(Scope::kTeam, *parts_[0]);
+    }
+  }
 
   for (auto& part : parts_) wait_partition_done(*part);
+
+  // Every member has retired: harvest the firewall state. Barrier episodes
+  // interrupted by the abort left waiting counters mid-episode; reset them
+  // so the next region starts clean (generation counters need no reset —
+  // they only advance on a completed release).
+  std::exception_ptr exc;
+  if (team_abort_.load(std::memory_order_acquire)) {
+    for (auto& part : parts_) {
+      part->leaf_waiting.store(0, std::memory_order_relaxed);
+    }
+    root_waiting_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(team_exc_mu_);
+    exc = team_exc_;
+    team_exc_ = nullptr;
+    team_abort_.store(false, std::memory_order_relaxed);
+  }
   for (auto& part : parts_) part->dispatch_mu.unlock();
+  if (exc) std::rethrow_exception(exc);
 }
 
 bool ThreadPool::run_on(int p, RegionFn fn, void* ctx) {
@@ -385,16 +459,14 @@ bool ThreadPool::run_on(int p, RegionFn fn, void* ctx) {
   if (part.count == 1 && caller_participates) {
     // Single-member partition 0: the caller is the whole sub-team.
     part.regions.fetch_add(1, std::memory_order_relaxed);
-    rc = {this, 0, 1, true, p};
-    fn(ctx, 0, 1);
-    rc = {};
+    ScopedRegionContext src({this, 0, 1, true, p});
+    fn(ctx, 0, 1);  // exceptions propagate to the caller directly
     return true;
   }
   if (!part.dispatch_mu.try_lock()) {
     serial_degradations_.fetch_add(1, std::memory_order_relaxed);
-    rc = {this, 0, 1, true, p};
+    ScopedRegionContext src({this, 0, 1, true, p});
     fn(ctx, 0, 1);
-    rc = {};
     return false;
   }
   std::lock_guard<std::mutex> guard(part.dispatch_mu, std::adopt_lock);
@@ -402,15 +474,39 @@ bool ThreadPool::run_on(int p, RegionFn fn, void* ctx) {
   part.regions.fetch_add(1, std::memory_order_relaxed);
   publish(part, Scope::kPartition, fn, ctx);
   if (caller_participates) {
-    rc = {this, 0, part.count, true, p};
-    fn(ctx, 0, part.count);
-    rc = {};
+    ScopedRegionContext src({this, 0, part.count, true, p});
+    try {
+      fn(ctx, 0, part.count);
+    } catch (const detail::RegionAborted&) {
+    } catch (...) {
+      record_region_exception(Scope::kPartition, part);
+    }
   }
   wait_partition_done(part);
+
+  // Harvest the partition firewall (see run()); dispatch_mu is released by
+  // the adopt_lock guard during unwinding, so rethrowing here is safe.
+  if (part.abort.load(std::memory_order_acquire)) {
+    part.leaf_waiting.store(0, std::memory_order_relaxed);
+    std::exception_ptr exc;
+    {
+      std::lock_guard<std::mutex> g(part.exc_mu);
+      exc = part.exc;
+      part.exc = nullptr;
+    }
+    part.abort.store(false, std::memory_order_relaxed);
+    if (exc) std::rethrow_exception(exc);
+  }
   return true;
 }
 
 void ThreadPool::leaf_barrier(Partition& part, bool team_scope) {
+  // Abort-aware: a member that threw never arrives, so anyone waiting on it
+  // would spin forever. Waiters poll the region's abort flag and unwind via
+  // RegionAborted; the dispatcher resets the mid-episode waiting counters
+  // once every member has retired.
+  const Scope scope = team_scope ? Scope::kTeam : Scope::kPartition;
+  if (region_aborted(scope, part)) throw detail::RegionAborted{};
   const std::uint64_t gen = part.leaf_gen.load(std::memory_order_acquire);
   if (part.leaf_waiting.fetch_add(1, std::memory_order_acq_rel) ==
       part.count - 1) {
@@ -428,6 +524,7 @@ void ThreadPool::leaf_barrier(Partition& part, bool team_scope) {
   } else {
     int spins = 0;
     while (part.leaf_gen.load(std::memory_order_acquire) == gen) {
+      if (region_aborted(scope, part)) throw detail::RegionAborted{};
       // Yield past the spin budget so oversubscribed teams make progress.
       if (++spins < kSpinIters) {
         PLT_CPU_PAUSE();
@@ -439,6 +536,9 @@ void ThreadPool::leaf_barrier(Partition& part, bool team_scope) {
 }
 
 void ThreadPool::root_barrier() {
+  // Only reached from team-scope episodes; partition 0 is a placeholder for
+  // the scope-matched abort check.
+  if (region_aborted(Scope::kTeam, *parts_[0])) throw detail::RegionAborted{};
   const std::uint64_t gen = root_gen_.load(std::memory_order_acquire);
   if (root_waiting_.fetch_add(1, std::memory_order_acq_rel) == nparts_ - 1) {
     barrier_epochs_.fetch_add(1, std::memory_order_relaxed);
@@ -447,6 +547,9 @@ void ThreadPool::root_barrier() {
   } else {
     int spins = 0;
     while (root_gen_.load(std::memory_order_acquire) == gen) {
+      if (region_aborted(Scope::kTeam, *parts_[0])) {
+        throw detail::RegionAborted{};
+      }
       if (++spins < kSpinIters) {
         PLT_CPU_PAUSE();
       } else {

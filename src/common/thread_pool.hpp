@@ -25,11 +25,23 @@
 // bitwise-identical across partition counts for a fixed team size. Nested
 // dispatch from inside a region degrades to a serial call, like OpenMP with
 // nesting off; a run_on() whose partition is busy degrades the same way.
+//
+// Exception firewall. An exception escaping fn on a worker thread would hit
+// the top of worker_main and call std::terminate — one poisoned nest body
+// would kill every in-flight request in the process. Instead, the FIRST
+// exception thrown by any team member is captured, the region is aborted
+// (members blocked in a region barrier unwind instead of deadlocking on the
+// thrower's missing arrival), the barrier/dispatch state is reset, and the
+// exception is rethrown on the dispatching thread once every member has
+// retired. The pool stays fully usable afterwards. Work other members
+// completed after the abort point is unspecified (the region failed as a
+// whole); serving keeps failures per-request by catching inside the body.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -59,7 +71,9 @@ class ThreadPool {
 
   // Runs fn(ctx, tid, size()) on every team member and returns when all are
   // done. Calls from inside an active region (any pool) run fn(ctx, 0, 1),
-  // as does losing the dispatch race to another top-level dispatcher.
+  // as does losing the dispatch race to another top-level dispatcher. If any
+  // member throws, the region aborts and the first exception is rethrown
+  // here (exception firewall above).
   void run(RegionFn fn, void* ctx);
 
   // Runs fn(ctx, tid, partition_size(p)) on partition p's sub-team only;
@@ -134,6 +148,13 @@ class ThreadPool {
     alignas(64) std::atomic<std::uint64_t> leaf_gen{0};
     alignas(64) std::atomic<int> leaf_waiting{0};
 
+    // Exception firewall state for run_on() (partition-scope) regions:
+    // first-thrown exception + abort flag barrier waiters poll. Reset by
+    // publish(); team-scope regions use the pool-level slots instead.
+    std::atomic<bool> abort{false};
+    std::mutex exc_mu;
+    std::exception_ptr exc;
+
     std::mutex dispatch_mu;  // owner of the sub-team
     std::mutex wake_mu;
     std::condition_variable wake_cv;
@@ -147,6 +168,15 @@ class ThreadPool {
   void worker_main(int g);
   void publish(Partition& part, Scope scope, RegionFn fn, void* ctx);
   void wait_partition_done(Partition& part);
+  // Records the first exception of the active region (team scope -> pool
+  // slots, partition scope -> part's slots) and raises the abort flag.
+  void record_region_exception(Scope scope, Partition& part);
+  // True when the active region was aborted (scope-matched flag).
+  bool region_aborted(Scope scope, const Partition& part) const {
+    return scope == Scope::kTeam
+               ? team_abort_.load(std::memory_order_acquire)
+               : part.abort.load(std::memory_order_acquire);
+  }
   static int expected_done(const Partition& part, int p) {
     // Partition 0's tid-0 slot is the dispatching thread, not a worker.
     return part.count - (p == 0 ? 1 : 0);
@@ -170,6 +200,13 @@ class ThreadPool {
   std::atomic<std::uint64_t> team_regions_{0};
   std::atomic<std::uint64_t> serial_degradations_{0};
   std::atomic<std::uint64_t> barrier_epochs_{0};
+
+  // Exception firewall state for whole-team regions (see class comment).
+  // Reset by run() before each dispatch; Partition::abort/exc are the
+  // partition-scope equivalents for run_on().
+  std::atomic<bool> team_abort_{false};
+  std::mutex team_exc_mu_;
+  std::exception_ptr team_exc_;
 };
 
 // Execution runtime selector shared with common/threading.hpp.
@@ -182,6 +219,12 @@ void set_runtime(Runtime r);
 const char* runtime_name(Runtime r);
 
 namespace detail {
+// Thrown out of ThreadPool barrier waits when the active region aborted
+// (another member threw). Not derived from std::exception on purpose: region
+// bodies that `catch (const std::exception&)` per work item must not swallow
+// the unwind. worker_main and the dispatcher catch it at the region boundary.
+struct RegionAborted {};
+
 // Thread-local region context maintained by the active backend so that
 // thread_id()/num_threads_in_region()/thread_barrier() work inside pool
 // regions exactly as they do inside OpenMP regions. `partition` selects the

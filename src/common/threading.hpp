@@ -17,6 +17,8 @@
 #include <omp.h>
 #endif
 
+#include <exception>
+#include <mutex>
 #include <type_traits>
 
 #include "common/thread_pool.hpp"
@@ -89,9 +91,24 @@ void parallel_region(Fn&& fn) {
     case Runtime::kOpenMP: {
 #if defined(PLT_HAVE_OPENMP)
       // OMP's own introspection serves thread_id()/thread_barrier() here, so
-      // no RegionContext is installed.
+      // no RegionContext is installed. Exception firewall: an exception may
+      // not escape an OpenMP region, so the first one is captured and
+      // rethrown on the calling thread. Caveat (unlike the pool backend):
+      // OpenMP barriers are all-or-none, so a body that throws BEFORE a
+      // barrier its surviving teammates wait at deadlocks under omp — bodies
+      // with internal barriers must catch per work item (serving does).
+      std::exception_ptr region_exc;
+      std::mutex exc_mu;
 #pragma omp parallel
-      { fn(omp_get_thread_num(), omp_get_num_threads()); }
+      {
+        try {
+          fn(omp_get_thread_num(), omp_get_num_threads());
+        } catch (...) {
+          std::lock_guard<std::mutex> g(exc_mu);
+          if (!region_exc) region_exc = std::current_exception();
+        }
+      }
+      if (region_exc) std::rethrow_exception(region_exc);
       return;
 #else
       break;  // no OpenMP in this build: serial fallback

@@ -233,8 +233,9 @@ const TeamSchedule* LoopNestPlan::team_schedule(int nthreads) const {
     }
     sched->threads.push_back(record_program(*this, t, nthreads));
     if (t == 0) nsegs = sched->threads[0].seg_len.size();
-    PLT_CHECK(sched->threads.back().seg_len.size() == nsegs,
-              "flat schedule: barrier count differs across threads");
+    PLT_ENSURE(sched->threads.back().seg_len.size() == nsegs,
+               StatusCode::kInternal,
+               "flat schedule: barrier count differs across threads");
   }
   sched->next = head;
   schedules_.store(sched, std::memory_order_release);

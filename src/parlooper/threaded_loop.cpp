@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/env.hpp"
+#include "common/fault.hpp"
 #include "parlooper/jit_backend.hpp"
 
 namespace plt::parlooper {
@@ -81,6 +82,9 @@ LoopNest::LoopNest(std::vector<LoopSpecs> loops, const std::string& spec_string,
 
 void LoopNest::operator()(const BodyFn& body, const VoidFn& init,
                           const VoidFn& term) const {
+  // Chaos-test hook: one fault point per nest invocation, covering both the
+  // JIT and interpreter paths. Unarmed cost is one relaxed load + branch.
+  common::fault::fire_point(common::fault::Site::kKernelExec);
   if (jit_ != nullptr) {
     jit_->run(*plan_, body, init, term);
   } else {

@@ -1,6 +1,7 @@
 #include "serving/model_registry.hpp"
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/threading.hpp"
 
 namespace plt::serving {
@@ -27,6 +28,25 @@ std::shared_ptr<Session> ModelRegistry::find(const std::string& name) const {
   return it == by_name_.end() ? nullptr : it->second;
 }
 
+StatusOr<std::shared_ptr<Session>> ModelRegistry::lookup(
+    const std::string& name) const {
+  if (common::fault::should_inject(common::fault::Site::kRegistryLookup) !=
+      common::fault::Kind::kNone) {
+    return Status::Unavailable("injected fault at registry_lookup");
+  }
+  std::shared_ptr<Session> s = find(name);
+  if (s == nullptr) return Status::InvalidArgument("unknown model: " + name);
+  return s;
+}
+
+Status ModelRegistry::quarantine(const std::string& name,
+                                 const std::string& reason) {
+  std::shared_ptr<Session> s = find(name);
+  if (s == nullptr) return Status::InvalidArgument("unknown model: " + name);
+  s->mark_unhealthy(reason);
+  return Status::Ok();
+}
+
 std::vector<std::shared_ptr<Session>> ModelRegistry::sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ordered_;
@@ -35,6 +55,13 @@ std::vector<std::shared_ptr<Session>> ModelRegistry::sessions() const {
 std::size_t ModelRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ordered_.size();
+}
+
+std::size_t ModelRegistry::healthy_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& s : ordered_) n += s->healthy() ? 1 : 0;
+  return n;
 }
 
 ModelRegistry& ModelRegistry::instance() {

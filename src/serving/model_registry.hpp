@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.hpp"
 #include "serving/session.hpp"
 
 namespace plt::serving {
@@ -28,10 +29,21 @@ class ModelRegistry {
   // nullptr when the name is unknown.
   std::shared_ptr<Session> find(const std::string& name) const;
 
+  // Status-carrying resolve: kInvalidArgument on an unknown name,
+  // kUnavailable when the registry_lookup fault site fires. A quarantined
+  // session still resolves — callers decide whether to reject on health
+  // (the scheduler does, at submit).
+  StatusOr<std::shared_ptr<Session>> lookup(const std::string& name) const;
+
+  // Marks the named session unhealthy (see Session health API);
+  // kInvalidArgument on an unknown name.
+  Status quarantine(const std::string& name, const std::string& reason);
+
   // Registration-ordered snapshot of every session.
   std::vector<std::shared_ptr<Session>> sessions() const;
 
   std::size_t size() const;
+  std::size_t healthy_count() const;
 
   // Process-wide registry (a serving host typically wants exactly one);
   // scoped registries remain constructible for tests.

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/env.hpp"
+#include "common/fault.hpp"
 #include "common/threading.hpp"
 #include "common/timer.hpp"
 
@@ -23,6 +24,12 @@ SchedulerConfig SchedulerConfig::from_env() {
       1 << 20));
   c.shards = static_cast<int>(common::env_int("PLT_SERVE_SHARDS", 0, 0, 64));
   c.steal = common::env_flag("PLT_SERVE_STEAL", def.steal);
+  c.default_deadline_usecs = common::env_int(
+      "PLT_SERVE_DEADLINE_USECS", def.default_deadline_usecs, 0, 60000000);
+  c.submit_timeout_usecs =
+      common::env_int("PLT_SERVE_SUBMIT_TIMEOUT_USECS",
+                      def.submit_timeout_usecs, 0, 60000000);
+  c.quarantine = common::env_flag("PLT_SERVE_QUARANTINE", def.quarantine);
   return c;
 }
 
@@ -83,14 +90,55 @@ int RequestScheduler::shard_of(Session* session) {
   return p % nshards;
 }
 
+void RequestScheduler::complete_terminal(detail::RequestState& r,
+                                         Status status) {
+  const auto now = steady_clock::now();
+  r.latency_us =
+      std::chrono::duration<double, std::micro>(now - r.t_submit).count();
+  r.status = std::move(status);
+  const StatusCode code = r.status.code();
+  switch (code) {
+    case StatusCode::kDeadlineExceeded:
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kResourceExhausted:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kUnavailable:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ModelStats& st = stats_[r.session->name()];
+    if (st.model.empty()) st.model = r.session->name();
+    switch (code) {
+      case StatusCode::kDeadlineExceeded: st.expired += 1; break;
+      case StatusCode::kResourceExhausted: st.shed += 1; break;
+      case StatusCode::kUnavailable: st.rejected += 1; break;
+      default: st.failed += 1; break;
+    }
+  }
+  r.done.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(done_mu_);
+  }
+  done_cv_.notify_all();
+}
+
 RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
-                                       const float* in, float* out) {
+                                       const float* in, float* out,
+                                       const SubmitOptions& opts) {
   PLT_CHECK(session != nullptr, "serving: submit with null session");
   submitters_.fetch_add(1, std::memory_order_seq_cst);
-  if (stop_.load(std::memory_order_seq_cst)) {
-    submitters_.fetch_sub(1, std::memory_order_seq_cst);
-    return RequestHandle();  // admission closed
-  }
+  struct SubmitterGuard {
+    std::atomic<int>& n;
+    ~SubmitterGuard() { n.fetch_sub(1, std::memory_order_seq_cst); }
+  } submitter_guard{submitters_};
+  submitted_.fetch_add(1, std::memory_order_relaxed);
 
   auto st = std::make_shared<detail::RequestState>();
   st->session = session;
@@ -98,13 +146,61 @@ RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
   st->out = out;
   st->owner = this;
   st->t_submit = steady_clock::now();
+  const std::int64_t ddl = opts.deadline_usecs >= 0
+                               ? opts.deadline_usecs
+                               : cfg_.default_deadline_usecs;
+  if (ddl > 0) {
+    st->has_deadline = true;
+    st->deadline = st->t_submit + std::chrono::microseconds(ddl);
+  }
 
+  if (stop_.load(std::memory_order_seq_cst)) {
+    complete_terminal(*st, Status::Unavailable("scheduler shut down"));
+    return RequestHandle(std::move(st));  // admission closed
+  }
+  if (cfg_.quarantine && !session->healthy()) {
+    complete_terminal(*st, Status::Unavailable("session quarantined: " +
+                                               session->health_reason()));
+    return RequestHandle(std::move(st));
+  }
+
+  st->admitted = true;
   const int s = shard_of(session.get());
   const int nshards = shard_count();
   Shard& shard = *shards_[static_cast<std::size_t>(s)];
-  while (!shard.queue.try_push(st)) {
-    // Full queue = back-pressure: make sure the dispatcher is draining, then
-    // let it run. Accepted requests are never dropped.
+  while (true) {
+    // The queue_push fault site simulates a full queue for one attempt
+    // (kind is irrelevant here — any fire means "no space this round").
+    const bool faux_full =
+        common::fault::should_inject(common::fault::Site::kQueuePush) !=
+        common::fault::Kind::kNone;
+    if (!faux_full && shard.queue.try_push(st)) break;
+    // Full queue = back-pressure. Load shedding drops the NEWEST work first:
+    // this request (not anything already queued) is shed when its own
+    // deadline has already passed, when the configured submit timeout
+    // elapses, or when admission closes under it. Otherwise make sure the
+    // dispatcher is draining, then let it run.
+    if (stop_.load(std::memory_order_seq_cst)) {
+      st->admitted = false;
+      complete_terminal(*st, Status::Unavailable("scheduler shut down"));
+      return RequestHandle(std::move(st));
+    }
+    const auto now = steady_clock::now();
+    if (st->has_deadline && now >= st->deadline) {
+      st->admitted = false;
+      complete_terminal(*st, Status::ResourceExhausted(
+                                 "admission queue saturated past deadline"));
+      return RequestHandle(std::move(st));
+    }
+    if (cfg_.submit_timeout_usecs > 0 &&
+        now - st->t_submit >=
+            std::chrono::microseconds(cfg_.submit_timeout_usecs)) {
+      st->admitted = false;
+      complete_terminal(
+          *st, Status::ResourceExhausted("admission queue full past submit "
+                                         "timeout"));
+      return RequestHandle(std::move(st));
+    }
     wake_shard(shard);
     std::this_thread::yield();
   }
@@ -130,7 +226,6 @@ RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
     }
   }
 
-  submitters_.fetch_sub(1, std::memory_order_seq_cst);
   return RequestHandle(std::move(st));
 }
 
@@ -150,9 +245,20 @@ void RequestScheduler::execute_batch(
   // dispatcher on the same lanes; it is uncontended in steady state.
   {
     std::lock_guard<std::mutex> lane_guard(session->exec_mutex());
+    // Per-request exception firewall: a poisoned request fails ITS OWN
+    // handle (status_from_exception) while its batch-mates complete
+    // normally — the exception never reaches the region boundary, so the
+    // pool-level firewall (which would fail the whole region) stays a
+    // backstop for bugs in this very loop.
     const auto body = [&](int tid, int nthreads) {
       for (int i = tid; i < batch; i += nthreads) {
-        session->run(i, rp[i]->in, rp[i]->out);
+        try {
+          session->run(i, rp[i]->in, rp[i]->out);
+        } catch (const std::exception& e) {
+          rp[i]->status = status_from_exception(e);
+        } catch (...) {
+          rp[i]->status = Status::Internal("unknown exception");
+        }
       }
     };
     if (shard_count() > 1) {
@@ -174,21 +280,34 @@ void RequestScheduler::execute_batch(
 
   const auto now = steady_clock::now();
   double sum_lat = 0.0, max_lat = 0.0;
+  std::uint64_t n_ok = 0, n_failed = 0;
+  std::string first_failure;
   for (auto& r : reqs) {
     const double lat =
         std::chrono::duration<double, std::micro>(now - r->t_submit).count();
     r->latency_us = lat;  // before the release store: visible once done
-    sum_lat += lat;
-    max_lat = std::max(max_lat, lat);
+    if (r->status.ok()) {
+      ++n_ok;
+      sum_lat += lat;
+      max_lat = std::max(max_lat, lat);
+    } else {
+      ++n_failed;
+      if (first_failure.empty()) first_failure = r->status.to_string();
+    }
   }
+  if (n_failed > 0 && cfg_.quarantine) session->mark_unhealthy(first_failure);
+  completed_.fetch_add(n_ok, std::memory_order_relaxed);
+  failed_.fetch_add(n_failed, std::memory_order_relaxed);
 
   // Stats before completion: a client that has waited on all its handles
-  // must see every one of them counted.
+  // must see every one of them counted. Latency aggregates cover OK requests
+  // only, so chaos runs stay comparable to fault-free ones.
   {
     std::lock_guard<std::mutex> g(stats_mu_);
     ModelStats& st = stats_[session->name()];
     if (st.model.empty()) st.model = session->name();
-    st.requests += static_cast<std::uint64_t>(batch);
+    st.requests += n_ok;
+    st.failed += n_failed;
     st.batches += 1;
     st.batched_requests_sum += static_cast<std::uint64_t>(batch);
     st.sum_latency_us += sum_lat;
@@ -222,13 +341,33 @@ void RequestScheduler::dispatcher_main(int s) {
     return std::min(cfg_.max_batch, sess->lanes());
   };
   const auto flush = [&](Pending& p) {
-    Session* sess = p.reqs.front()->session.get();
     n_pending -= p.reqs.size();
     const std::size_t hw = p.highwater;
-    execute_batch(s, sess, std::move(p.reqs), hw);
+    // Expire due requests at the last gate before execution: a request whose
+    // deadline passed while batched completes kDeadlineExceeded without
+    // running, its output buffer untouched.
+    const auto now = steady_clock::now();
+    std::vector<std::shared_ptr<detail::RequestState>> live;
+    live.reserve(p.reqs.size());
+    for (auto& r : p.reqs) {
+      if (r->has_deadline && now >= r->deadline) {
+        complete_terminal(
+            *r, Status::DeadlineExceeded("deadline passed while queued"));
+      } else {
+        live.push_back(std::move(r));
+      }
+    }
     p.reqs.clear();
+    if (live.empty()) return;
+    Session* sess = live.front()->session.get();
+    execute_batch(s, sess, std::move(live), hw);
   };
   const auto admit = [&](std::shared_ptr<detail::RequestState> r) {
+    if (r->has_deadline && steady_clock::now() >= r->deadline) {
+      complete_terminal(
+          *r, Status::DeadlineExceeded("deadline passed while queued"));
+      return;
+    }
     Session* sess = r->session.get();
     Pending& p = pending[sess];
     if (p.reqs.empty()) p.oldest = r->t_submit;
@@ -311,19 +450,39 @@ void RequestScheduler::dispatcher_main(int s) {
       continue;
     }
 
-    // Partial batches: flush the ones whose oldest request hit the deadline,
-    // then sleep until the next deadline (or a new arrival).
+    // Partial batches: expire requests whose own deadline passed (they leave
+    // the batch without executing), flush batches whose oldest survivor hit
+    // the batching deadline, then sleep until the next deadline — batch or
+    // per-request, whichever is sooner — or a new arrival.
     const auto now = steady_clock::now();
     steady_clock::time_point earliest = steady_clock::time_point::max();
     for (auto& entry : pending) {
       Pending& p = entry.second;
       if (p.reqs.empty()) continue;
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < p.reqs.size(); ++i) {
+        if (p.reqs[i]->has_deadline && now >= p.reqs[i]->deadline) {
+          complete_terminal(
+              *p.reqs[i],
+              Status::DeadlineExceeded("deadline passed while queued"));
+          --n_pending;
+        } else {
+          if (w != i) p.reqs[w] = std::move(p.reqs[i]);
+          ++w;
+        }
+      }
+      p.reqs.resize(w);
+      if (p.reqs.empty()) continue;
+      p.oldest = p.reqs.front()->t_submit;
       const auto deadline =
           p.oldest + std::chrono::microseconds(cfg_.batch_usecs);
       if (deadline <= now) {
         flush(p);
       } else {
         earliest = std::min(earliest, deadline);
+        for (const auto& r : p.reqs) {
+          if (r->has_deadline) earliest = std::min(earliest, r->deadline);
+        }
       }
     }
     if (n_pending == 0) continue;
@@ -359,6 +518,17 @@ std::vector<ModelStats> RequestScheduler::stats() const {
               return a.model < b.model;
             });
   return out;
+}
+
+RequestScheduler::Counters RequestScheduler::counters() const {
+  Counters c;
+  c.submitted = submitted_.load(std::memory_order_relaxed);
+  c.completed = completed_.load(std::memory_order_relaxed);
+  c.failed = failed_.load(std::memory_order_relaxed);
+  c.expired = expired_.load(std::memory_order_relaxed);
+  c.shed = shed_.load(std::memory_order_relaxed);
+  c.rejected = rejected_.load(std::memory_order_relaxed);
+  return c;
 }
 
 std::uint64_t RequestScheduler::steals(int s) const {

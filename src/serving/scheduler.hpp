@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/mpmc_queue.hpp"
+#include "common/status.hpp"
 #include "serving/session.hpp"
 
 namespace plt::serving {
@@ -66,15 +67,44 @@ struct SchedulerConfig {
   // PLT_SERVE_STEAL: idle shards steal from siblings' queues (default on).
   bool steal = true;
 
+  // PLT_SERVE_DEADLINE_USECS: default per-request deadline, relative to
+  // submit time (0 = none). A request whose deadline passes while it is
+  // still queued completes kDeadlineExceeded WITHOUT executing; its output
+  // buffer is untouched. SubmitOptions overrides per request.
+  std::int64_t default_deadline_usecs = 0;
+
+  // PLT_SERVE_SUBMIT_TIMEOUT_USECS: how long submit() blocks on a full
+  // admission queue before shedding the request kResourceExhausted
+  // (0 = block until space frees up — the pre-deadline behaviour).
+  std::int64_t submit_timeout_usecs = 0;
+
+  // PLT_SERVE_QUARANTINE: when a batch request fails, mark its session
+  // unhealthy and reject subsequent submits to it kUnavailable until
+  // Session::mark_healthy() re-admits it (default on). Other sessions are
+  // never affected either way.
+  bool quarantine = true;
+
   // Reads the PLT_SERVE_* environment knobs (range-validated; bad values
   // warn and fall back to the defaults above).
   static SchedulerConfig from_env();
 };
 
+// Per-request submit options. deadline_usecs: -1 = use the config default,
+// 0 = no deadline, > 0 = relative deadline in microseconds from submit.
+struct SubmitOptions {
+  std::int64_t deadline_usecs = -1;
+};
+
 // Per-model serving counters, snapshot via RequestScheduler::stats().
+// `requests` counts successfully completed requests only; terminal failures
+// are split by cause so latency means stay comparable across chaos runs.
 struct ModelStats {
   std::string model;
   std::uint64_t requests = 0;
+  std::uint64_t failed = 0;    // batch execution threw (kInternal, ...)
+  std::uint64_t expired = 0;   // deadline passed while queued (kDeadlineExceeded)
+  std::uint64_t shed = 0;      // admission shed (kResourceExhausted)
+  std::uint64_t rejected = 0;  // refused at submit (kUnavailable)
   std::uint64_t batches = 0;
   std::uint64_t batched_requests_sum = 0;  // sum of batch sizes
   double sum_latency_us = 0.0;             // submit -> completion
@@ -101,24 +131,37 @@ struct RequestState {
   float* out = nullptr;
   RequestScheduler* owner = nullptr;  // for the shared completion cv
   std::chrono::steady_clock::time_point t_submit;
-  double latency_us = 0.0;  // written by the dispatcher before done
+  std::chrono::steady_clock::time_point deadline;  // valid iff has_deadline
+  bool has_deadline = false;
+  bool admitted = false;     // false: refused/shed at submit (ok() is false)
+  Status status;             // terminal status; written before done's release
+  double latency_us = 0.0;   // written by the dispatcher before done
   std::atomic<bool> done{false};
 };
 }  // namespace detail
 
-// Handle returned by submit(). ok() is false when the scheduler rejected
-// the request (submitted after shutdown). Valid to wait on from any thread;
-// must not outlive the scheduler.
+// Handle returned by submit(). Every handle resolves to exactly ONE terminal
+// status: OK after successful execution, or the failure Status (rejected,
+// shed, expired, failed — see StatusCode). ok() is false when the request
+// was refused at submit (shutdown, quarantine, load shed) — such handles are
+// done() immediately and carry the refusal in status(). Valid to wait on
+// from any thread; must not outlive the scheduler.
 class RequestHandle {
  public:
   RequestHandle() = default;
 
-  bool ok() const { return st_ != nullptr; }
+  bool ok() const { return st_ != nullptr && st_->admitted; }
   bool done() const {
     return st_ == nullptr || st_->done.load(std::memory_order_acquire);
   }
   // Blocks until the request completes (returns immediately if !ok()).
   void wait() const;
+  // Terminal status; meaningful once done() (OK before then only if the
+  // request genuinely completed). A default-constructed handle reports
+  // kUnavailable.
+  Status status() const {
+    return st_ ? st_->status : Status::Unavailable("empty request handle");
+  }
   // submit -> completion, microseconds; valid once done().
   double latency_us() const { return st_ ? st_->latency_us : 0.0; }
 
@@ -138,10 +181,16 @@ class RequestScheduler {
   RequestScheduler& operator=(const RequestScheduler&) = delete;
 
   // Enqueues one inference request. `in` and `out` must stay valid until the
-  // handle reports done. Blocks (spin + yield) while the admission queue is
-  // full; returns a !ok() handle after shutdown() has begun.
+  // handle reports done. Returns a !ok() handle (with the refusal in
+  // status()) after shutdown() has begun, when the session is quarantined,
+  // or when the request was shed at admission. On a full queue: blocks
+  // (spin + yield) until space frees, unless the request's deadline passes
+  // or cfg.submit_timeout_usecs elapses — then it is shed
+  // kResourceExhausted (newest-over-deadline work goes first under
+  // saturation; queued requests are never dropped).
   RequestHandle submit(const std::shared_ptr<Session>& session,
-                       const float* in, float* out);
+                       const float* in, float* out,
+                       const SubmitOptions& opts = SubmitOptions());
 
   // Stops admission, drains every accepted request (in-flight work
   // completes), then joins every dispatcher. Idempotent.
@@ -154,6 +203,19 @@ class RequestScheduler {
 
   // Snapshot of the per-model counters (stable once shutdown() returned).
   std::vector<ModelStats> stats() const;
+
+  // Scheduler-wide terminal-status accounting. After every submitted handle
+  // is done, submitted == completed + failed + expired + shed + rejected —
+  // the chaos tests and the CI chaos job assert this exactly.
+  struct Counters {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  // resolved OK
+    std::uint64_t failed = 0;     // execution threw
+    std::uint64_t expired = 0;    // deadline passed while queued
+    std::uint64_t shed = 0;       // shed at admission
+    std::uint64_t rejected = 0;   // refused at submit
+  };
+  Counters counters() const;
 
   // Requests shard s popped from a sibling's queue (0 <= s < shard_count()).
   std::uint64_t steals(int s) const;
@@ -197,6 +259,10 @@ class RequestScheduler {
                      std::size_t pending_highwater);
   void wake_shard(Shard& shard);
   int shard_of(Session* session);
+  // Resolves a never-executed request: sets its terminal status + latency,
+  // bumps the per-model and scheduler counters matching the status code,
+  // and completes the handle.
+  void complete_terminal(detail::RequestState& r, Status status);
 
   SchedulerConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -205,6 +271,14 @@ class RequestScheduler {
   std::atomic<int> submitters_{0};  // producers currently inside submit()
   std::atomic<std::size_t> queue_highwater_{0};
   std::atomic<int> rr_pin_{0};  // round-robin cursor for unpinned sessions
+
+  // Scheduler-wide terminal-status accounting (see Counters).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
 
   mutable std::mutex stats_mu_;
   std::unordered_map<std::string, ModelStats> stats_;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/threading.hpp"
 
 #if defined(__linux__)
@@ -47,11 +48,37 @@ class ScopedPartitionAffinity {
 }  // namespace
 
 void Session::warmup() {
+  // The warmup fault site fires BEFORE suppression: it models a model that
+  // fails to build. The guard then keeps the real kernel runs below from
+  // drawing kernel_exec events — construction is not serving chaos.
+  common::fault::fire_point(common::fault::Site::kSessionWarmup);
+  common::fault::SuppressGuard no_chaos;
   std::vector<float> in(static_cast<std::size_t>(input_elems_));
   std::vector<float> out(static_cast<std::size_t>(output_elems_));
   Xoshiro256 rng(0xC0FFEEull);
   fill_uniform(in.data(), in.size(), rng, -0.1f, 0.1f);
   for (int l = 0; l < lanes_; ++l) run(l, in.data(), out.data());
+}
+
+void Session::mark_unhealthy(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> g(health_mu_);
+    if (health_reason_.empty()) health_reason_ = reason;  // first failure wins
+  }
+  healthy_.store(false, std::memory_order_release);
+}
+
+void Session::mark_healthy() {
+  {
+    std::lock_guard<std::mutex> g(health_mu_);
+    health_reason_.clear();
+  }
+  healthy_.store(true, std::memory_order_release);
+}
+
+std::string Session::health_reason() const {
+  std::lock_guard<std::mutex> g(health_mu_);
+  return health_reason_;
 }
 
 void Session::pin_partition(int p, bool first_touch) {
@@ -79,6 +106,7 @@ void Session::pin_partition(int p, bool first_touch) {
   // own tid-0 share on partition 0): every first-touch happens on node p
   // either way. One pass suffices — the lazily-built state is idempotent.
   ScopedPartitionAffinity on_node(p);
+  common::fault::SuppressGuard no_chaos;  // first-touch warmup, not serving
   parallel_region_on(p, [&](int tid, int nthreads) {
     std::vector<float> local_out(out);  // lanes run concurrently
     for (int l = tid; l < lanes_; l += nthreads) {

@@ -68,6 +68,16 @@ class Session {
   // dispatcher. Uncontended in steady state (one home dispatcher).
   std::mutex& exec_mutex() { return exec_mu_; }
 
+  // Health / quarantine. A session whose batch execution threw is marked
+  // unhealthy by the scheduler (first failure wins for the reason); with
+  // quarantine enabled the scheduler then rejects new submits kUnavailable
+  // while every other session keeps serving. mark_healthy() re-admits it
+  // (operator action — the lanes themselves are stateless across requests).
+  bool healthy() const { return healthy_.load(std::memory_order_acquire); }
+  void mark_unhealthy(const std::string& reason);
+  void mark_healthy();
+  std::string health_reason() const;
+
   // Runs one request on the given lane. Distinct lanes are safe to run
   // concurrently; the same lane must not be entered twice at once. Called
   // by the scheduler from inside a pool region (nested nests degrade to a
@@ -98,6 +108,9 @@ class Session {
   double flops_;
   std::atomic<int> partition_{-1};
   std::mutex exec_mu_;
+  std::atomic<bool> healthy_{true};
+  mutable std::mutex health_mu_;  // guards health_reason_
+  std::string health_reason_;
 };
 
 // Stack of `layers` fully-connected layers, all `features` wide, over

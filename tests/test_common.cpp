@@ -9,7 +9,9 @@
 #include "common/cpu_features.hpp"
 #include "common/env.hpp"
 #include "common/math_utils.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/status.hpp"
 
 namespace plt {
 namespace {
@@ -182,6 +184,63 @@ TEST(Env, StrPassesThrough) {
   ::setenv("PLT_TEST_STR", "/some/path", 1);
   EXPECT_EQ(common::env_str("PLT_TEST_STR", "dflt"), "/some/path");
   ::unsetenv("PLT_TEST_STR");
+}
+
+TEST(Status, CodesNamesAndFactories) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_EQ(Status().to_string(), "OK");
+  const Status s = Status::DeadlineExceeded("too slow");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "too slow");
+  EXPECT_EQ(s.to_string(), "DEADLINE_EXCEEDED: too slow");
+  EXPECT_STREQ(status_code_name(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+TEST(Status, StatusOrHoldsValueOrStatus) {
+  StatusOr<int> good(7);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(good.value_or(-1), 7);
+
+  StatusOr<int> bad(Status::Unavailable("gone"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_THROW(bad.value(), RuntimeError);
+}
+
+TEST(Status, FromExceptionMapsTypesToCodes) {
+  EXPECT_EQ(status_from_exception(RuntimeError(StatusCode::kInternal, "x"))
+                .code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(
+      status_from_exception(RuntimeError(StatusCode::kResourceExhausted, "x"))
+          .code(),
+      StatusCode::kResourceExhausted);
+  EXPECT_EQ(status_from_exception(std::invalid_argument("bad arg")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(status_from_exception(std::bad_alloc()).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(status_from_exception(std::runtime_error("boom")).code(),
+            StatusCode::kInternal);
+}
+
+TEST(Check, EnsureThrowsRuntimeErrorWithCodeAndContext) {
+  PLT_ENSURE(true, StatusCode::kInternal, "never thrown");
+  try {
+    PLT_ENSURE(1 == 2, StatusCode::kUnavailable, "backend missing");
+    FAIL() << "PLT_ENSURE did not throw";
+  } catch (const RuntimeError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kUnavailable);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("UNAVAILABLE"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("backend missing"), std::string::npos);
+  }
+  // PLT_CHECK stays the API-misuse family: std::invalid_argument.
+  EXPECT_THROW(PLT_CHECK(false, "misuse"), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,172 @@
+// Fault-injection harness tests: spec parsing (good and malformed triples),
+// seeded determinism of the fired-event subset, exact counter accounting,
+// suppression scopes, and the fire_point -> RuntimeError(kInternal) contract.
+//
+// Every test configures the harness programmatically and resets it on exit:
+// the suite must be runnable with and without PLT_FAULT_SPEC in the
+// environment (configure() overrides env arming).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/status.hpp"
+
+namespace plt {
+namespace {
+
+namespace fault = common::fault;
+
+// Reset on scope exit so one test's spec never leaks into the next (or into
+// another suite in the same process).
+struct FaultReset {
+  ~FaultReset() { fault::reset(); }
+};
+
+TEST(Fault, DisabledByDefaultAndZeroCountersAfterReset) {
+  FaultReset cleanup;
+  fault::reset();
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_EQ(fault::should_inject(fault::Site::kKernelExec),
+            fault::Kind::kNone);
+  // Unarmed sites do not consume events.
+  EXPECT_EQ(fault::evaluated(fault::Site::kKernelExec), 0u);
+  EXPECT_EQ(fault::injected(fault::Site::kKernelExec), 0u);
+}
+
+TEST(Fault, ParsesMultiSiteSpec) {
+  FaultReset cleanup;
+  fault::configure("kernel_exec:throw:1.0;queue_push:full:0.5", 7);
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_EQ(fault::should_inject(fault::Site::kKernelExec),
+            fault::Kind::kThrow);
+  // Unarmed site in an armed harness still returns kNone without drawing.
+  EXPECT_EQ(fault::should_inject(fault::Site::kSessionWarmup),
+            fault::Kind::kNone);
+  EXPECT_EQ(fault::evaluated(fault::Site::kSessionWarmup), 0u);
+}
+
+TEST(Fault, MalformedTriplesAreDroppedNotHalfArmed) {
+  FaultReset cleanup;
+  for (const char* bad :
+       {"kernel_exec", "kernel_exec:throw", "bogus_site:throw:0.5",
+        "kernel_exec:bogus_kind:0.5", "kernel_exec:throw:1.5",
+        "kernel_exec:throw:-0.1", "kernel_exec:throw:abc",
+        "kernel_exec:throw:0.5junk"}) {
+    fault::configure(bad, 1);
+    EXPECT_FALSE(fault::enabled()) << bad;
+    EXPECT_EQ(fault::should_inject(fault::Site::kKernelExec),
+              fault::Kind::kNone)
+        << bad;
+  }
+  // A malformed triple next to a good one drops only itself.
+  fault::configure("bogus:throw:1.0;queue_push:full:1.0", 1);
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_EQ(fault::should_inject(fault::Site::kQueuePush), fault::Kind::kFull);
+}
+
+TEST(Fault, ProbabilityOneAlwaysFiresAndZeroNeverArms) {
+  FaultReset cleanup;
+  fault::configure("kernel_exec:throw:1.0", 123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fault::should_inject(fault::Site::kKernelExec),
+              fault::Kind::kThrow);
+  }
+  EXPECT_EQ(fault::evaluated(fault::Site::kKernelExec), 100u);
+  EXPECT_EQ(fault::injected(fault::Site::kKernelExec), 100u);
+
+  fault::configure("kernel_exec:throw:0.0", 123);
+  EXPECT_FALSE(fault::enabled());  // prob 0 never arms the site
+}
+
+TEST(Fault, SameSeedSameFiredSequence) {
+  FaultReset cleanup;
+  const auto draw_sequence = [&](std::uint64_t seed) {
+    fault::configure("kernel_exec:throw:0.3", seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 512; ++i) {
+      fired.push_back(fault::should_inject(fault::Site::kKernelExec) !=
+                      fault::Kind::kNone);
+    }
+    return fired;
+  };
+  const std::vector<bool> a = draw_sequence(42);
+  const std::vector<bool> b = draw_sequence(42);
+  const std::vector<bool> c = draw_sequence(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-512 false-failure odds: different seed, new subset
+  // ~30% of 512 draws: loose bounds, deterministic given the fixed seed.
+  const std::size_t fires = static_cast<std::size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 512u * 15 / 100);
+  EXPECT_LT(fires, 512u * 45 / 100);
+}
+
+TEST(Fault, CountersAccountExactly) {
+  FaultReset cleanup;
+  fault::configure("queue_push:full:0.25", 9);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (fault::should_inject(fault::Site::kQueuePush) != fault::Kind::kNone) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fault::evaluated(fault::Site::kQueuePush), 1000u);
+  EXPECT_EQ(fault::injected(fault::Site::kQueuePush), fired);
+}
+
+TEST(Fault, SuppressGuardMasksInjectionWithoutConsumingEvents) {
+  FaultReset cleanup;
+  fault::configure("kernel_exec:throw:1.0", 5);
+  {
+    fault::SuppressGuard guard;
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(fault::should_inject(fault::Site::kKernelExec),
+                fault::Kind::kNone);
+    }
+    {
+      fault::SuppressGuard nested;  // refcounted: nesting is fine
+      EXPECT_EQ(fault::should_inject(fault::Site::kKernelExec),
+                fault::Kind::kNone);
+    }
+    EXPECT_EQ(fault::should_inject(fault::Site::kKernelExec),
+              fault::Kind::kNone);
+  }
+  EXPECT_EQ(fault::evaluated(fault::Site::kKernelExec), 0u);
+  // Guard gone: the site fires again.
+  EXPECT_EQ(fault::should_inject(fault::Site::kKernelExec),
+            fault::Kind::kThrow);
+}
+
+TEST(Fault, FirePointThrowsRuntimeErrorWithSiteName) {
+  FaultReset cleanup;
+  fault::configure("kernel_exec:throw:1.0", 5);
+  try {
+    fault::fire_point(fault::Site::kKernelExec);
+    FAIL() << "fire_point did not throw";
+  } catch (const RuntimeError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInternal);
+    EXPECT_NE(std::string(e.what()).find("kernel_exec"), std::string::npos);
+    EXPECT_EQ(status_from_exception(e).code(), StatusCode::kInternal);
+  }
+  // Non-throw kinds are returned, not thrown.
+  fault::configure("queue_push:full:1.0", 5);
+  EXPECT_EQ(fault::fire_point(fault::Site::kQueuePush), fault::Kind::kFull);
+}
+
+TEST(Fault, ResetDisarms) {
+  FaultReset cleanup;
+  fault::configure("kernel_exec:throw:1.0", 5);
+  ASSERT_TRUE(fault::enabled());
+  fault::reset();
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_EQ(fault::should_inject(fault::Site::kKernelExec),
+            fault::Kind::kNone);
+  EXPECT_EQ(fault::evaluated(fault::Site::kKernelExec), 0u);
+}
+
+}  // namespace
+}  // namespace plt

@@ -7,11 +7,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/env.hpp"
+#include "common/fault.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/status.hpp"
 #include "common/threading.hpp"
 #include "serving/model_registry.hpp"
 #include "serving/scheduler.hpp"
@@ -534,6 +541,561 @@ TEST(Scheduler, ConcurrentProducersAcrossModels) {
   }
   EXPECT_EQ(total, static_cast<std::uint64_t>(kProducers) * kPerProducer);
   EXPECT_GE(sched.queue_depth_highwater(), 1u);
+}
+
+// --- failure semantics: firewalls, quarantine, deadlines, shedding ----------
+
+namespace fault = plt::common::fault;
+
+// Scripted model: 4-elem passthrough (out = 2 * in) that can be told to
+// throw. No kernels, no warmup — failure-path tests stay fast and exact.
+class ScriptedSession final : public Session {
+ public:
+  ScriptedSession(const std::string& name, int lanes)
+      : Session(name, lanes, /*input_elems=*/4, /*output_elems=*/4,
+                /*flops=*/1.0) {}
+
+  std::atomic<bool> fail{false};
+  std::atomic<int> runs{0};
+
+  void run(int, const float* in, float* out) override {
+    runs.fetch_add(1);
+    if (fail.load()) {
+      throw RuntimeError(StatusCode::kInternal, "scripted failure");
+    }
+    for (int i = 0; i < 4; ++i) out[i] = 2.0f * in[i];
+  }
+};
+
+// Blocks inside run() until released: parks the dispatcher mid-batch so
+// tests can deterministically stack work up behind it.
+class BlockingSession final : public Session {
+ public:
+  explicit BlockingSession(const std::string& name)
+      : Session(name, /*lanes=*/1, 4, 4, 1.0) {}
+
+  std::atomic<bool> entered{false};
+
+  void run(int, const float*, float*) override {
+    entered.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return released_; });
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void await_entered() {
+    while (!entered.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+TEST(SchedulerFailure, PoisonedRequestFailsAloneAndQuarantines) {
+  auto bad = std::make_shared<ScriptedSession>("scripted_bad", 4);
+  auto good = std::make_shared<ScriptedSession>("scripted_good", 4);
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_usecs = 200;
+  cfg.shards = 1;
+  cfg.quarantine = true;
+  RequestScheduler sched(cfg);
+
+  const float in[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  float out_bad[4] = {0};
+  float out_good[4] = {0};
+
+  bad->fail.store(true);
+  auto h_bad = sched.submit(bad, in, out_bad);
+  auto h_good = sched.submit(good, in, out_good);
+  ASSERT_TRUE(h_bad.ok());
+  ASSERT_TRUE(h_good.ok());
+  h_bad.wait();
+  h_good.wait();
+
+  // The poisoned request fails its OWN handle; the other session's request
+  // (in flight at the same time) completes normally.
+  EXPECT_EQ(h_bad.status().code(), StatusCode::kInternal);
+  EXPECT_NE(h_bad.status().message().find("scripted failure"),
+            std::string::npos);
+  EXPECT_TRUE(h_good.status().ok());
+  EXPECT_EQ(out_good[2], 6.0f);
+
+  // The faulted session is quarantined: unhealthy, and new submits are
+  // rejected kUnavailable without executing anything.
+  EXPECT_FALSE(bad->healthy());
+  EXPECT_TRUE(good->healthy());
+  bad->fail.store(false);
+  const int runs_before = bad->runs.load();
+  auto h_rej = sched.submit(bad, in, out_bad);
+  EXPECT_FALSE(h_rej.ok());
+  EXPECT_TRUE(h_rej.done());
+  EXPECT_EQ(h_rej.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(h_rej.status().message().find("quarantined"), std::string::npos);
+  EXPECT_EQ(bad->runs.load(), runs_before);
+
+  // The healthy session keeps serving, and mark_healthy re-admits.
+  auto h2 = sched.submit(good, in, out_good);
+  h2.wait();
+  EXPECT_TRUE(h2.status().ok());
+  bad->mark_healthy();
+  auto h3 = sched.submit(bad, in, out_bad);
+  ASSERT_TRUE(h3.ok());
+  h3.wait();
+  EXPECT_TRUE(h3.status().ok());
+  EXPECT_EQ(out_bad[3], 8.0f);
+
+  sched.shutdown();
+  const auto c = sched.counters();
+  EXPECT_EQ(c.submitted, 5u);
+  EXPECT_EQ(c.completed, 3u);
+  EXPECT_EQ(c.failed, 1u);
+  EXPECT_EQ(c.rejected, 1u);
+  EXPECT_EQ(c.completed + c.failed + c.expired + c.shed + c.rejected,
+            c.submitted);
+  // Per-model split mirrors the scheduler-wide counters.
+  for (const auto& st : sched.stats()) {
+    if (st.model == "scripted_bad") {
+      EXPECT_EQ(st.requests, 1u);
+      EXPECT_EQ(st.failed, 1u);
+      EXPECT_EQ(st.rejected, 1u);
+    }
+  }
+}
+
+TEST(SchedulerFailure, QuarantineOffKeepsServingAFaultySession) {
+  auto s = std::make_shared<ScriptedSession>("scripted_noq", 2);
+  SchedulerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_usecs = 0;
+  cfg.quarantine = false;
+  RequestScheduler sched(cfg);
+  const float in[4] = {1, 1, 1, 1};
+  float out[4];
+  s->fail.store(true);
+  auto h1 = sched.submit(s, in, out);
+  h1.wait();
+  EXPECT_EQ(h1.status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(s->healthy());  // quarantine disabled: health untouched
+  s->fail.store(false);
+  auto h2 = sched.submit(s, in, out);
+  ASSERT_TRUE(h2.ok());
+  h2.wait();
+  EXPECT_TRUE(h2.status().ok());
+}
+
+TEST(SchedulerDeadline, QueuedRequestExpiresWithoutExecuting) {
+  auto blocker = std::make_shared<BlockingSession>("blocker_dl");
+  auto victim = std::make_shared<ScriptedSession>("victim_dl", 2);
+  SchedulerConfig cfg;
+  cfg.max_batch = 1;  // the blocker flushes (and blocks) immediately
+  cfg.batch_usecs = 0;
+  cfg.shards = 1;
+  cfg.steal = false;
+  RequestScheduler sched(cfg);
+
+  const float in[4] = {1, 2, 3, 4};
+  float out_b[4];
+  float out_v[4] = {-7.0f, -7.0f, -7.0f, -7.0f};
+  auto h_block = sched.submit(blocker, in, out_b);
+  ASSERT_TRUE(h_block.ok());
+  blocker->await_entered();  // dispatcher is now stuck mid-batch
+
+  SubmitOptions opts;
+  opts.deadline_usecs = 1000;  // 1 ms, guaranteed to pass while queued
+  auto h_victim = sched.submit(victim, in, out_v);
+  auto h_dead = sched.submit(victim, in, out_v, opts);
+  ASSERT_TRUE(h_dead.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  blocker->release();
+  h_dead.wait();
+  h_victim.wait();
+
+  // The expired request resolved kDeadlineExceeded WITHOUT running: its
+  // output sentinel is untouched (the no-deadline sibling did run).
+  EXPECT_EQ(h_dead.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(h_victim.status().ok());
+  EXPECT_EQ(out_v[0], 2.0f);
+  sched.shutdown();
+  const auto c = sched.counters();
+  EXPECT_EQ(c.submitted, 3u);
+  EXPECT_EQ(c.expired, 1u);
+  EXPECT_EQ(c.completed, 2u);
+}
+
+TEST(SchedulerDeadline, PendingPartialBatchExpiresPromptly) {
+  // One request in a partial batch (max_batch 4) with a huge batching
+  // window: the dispatcher's sleep must wake at the REQUEST deadline, not
+  // the batch deadline.
+  auto s = std::make_shared<ScriptedSession>("victim_wake", 4);
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_usecs = 10000000;  // 10 s batching window
+  cfg.shards = 1;
+  RequestScheduler sched(cfg);
+  const float in[4] = {1, 2, 3, 4};
+  float out[4] = {-7.0f, -7.0f, -7.0f, -7.0f};
+  SubmitOptions opts;
+  opts.deadline_usecs = 20000;  // 20 ms
+  const auto t0 = std::chrono::steady_clock::now();
+  auto h = sched.submit(s, in, out, opts);
+  ASSERT_TRUE(h.ok());
+  h.wait();
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(h.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(out[0], -7.0f);      // never executed
+  EXPECT_LT(waited_ms, 5000.0);  // resolved at ~20 ms, not the 10 s window
+  EXPECT_EQ(s->runs.load(), 0);
+}
+
+TEST(SchedulerShedding, SaturatedQueueShedsPastDeadlineSubmit) {
+  auto blocker = std::make_shared<BlockingSession>("blocker_shed");
+  auto s = std::make_shared<ScriptedSession>("victim_shed", 2);
+  SchedulerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_usecs = 0;
+  cfg.queue_capacity = 2;
+  cfg.shards = 1;
+  cfg.steal = false;
+  RequestScheduler sched(cfg);
+  const float in[4] = {1, 1, 1, 1};
+  float out[4];
+  auto h_block = sched.submit(blocker, in, out);
+  blocker->await_entered();
+  // Fill the admission queue while the dispatcher is stuck.
+  std::vector<RequestHandle> queued;
+  float outs[2][4];
+  queued.push_back(sched.submit(s, in, outs[0]));
+  queued.push_back(sched.submit(s, in, outs[1]));
+  // Saturated queue + deadline that lapses while blocked: shed, newest first
+  // — the queued requests are untouched.
+  SubmitOptions opts;
+  opts.deadline_usecs = 1000;
+  float out_shed[4] = {-7.0f, -7.0f, -7.0f, -7.0f};
+  auto h_shed = sched.submit(s, in, out_shed, opts);
+  EXPECT_FALSE(h_shed.ok());
+  EXPECT_TRUE(h_shed.done());
+  EXPECT_EQ(h_shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(out_shed[0], -7.0f);
+  blocker->release();
+  for (auto& h : queued) {
+    h.wait();
+    EXPECT_TRUE(h.status().ok());
+  }
+  sched.shutdown();
+  const auto c = sched.counters();
+  EXPECT_EQ(c.shed, 1u);
+  EXPECT_EQ(c.completed + c.failed + c.expired + c.shed + c.rejected,
+            c.submitted);
+}
+
+TEST(SchedulerShedding, SubmitTimeoutShedsWithoutADeadline) {
+  auto blocker = std::make_shared<BlockingSession>("blocker_to");
+  auto s = std::make_shared<ScriptedSession>("victim_to", 2);
+  SchedulerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_usecs = 0;
+  cfg.queue_capacity = 2;
+  cfg.shards = 1;
+  cfg.steal = false;
+  cfg.submit_timeout_usecs = 2000;  // 2 ms bound on submit blocking
+  RequestScheduler sched(cfg);
+  const float in[4] = {1, 1, 1, 1};
+  float out[4];
+  auto h_block = sched.submit(blocker, in, out);
+  blocker->await_entered();
+  float outs[2][4];
+  std::vector<RequestHandle> queued;
+  queued.push_back(sched.submit(s, in, outs[0]));
+  queued.push_back(sched.submit(s, in, outs[1]));
+  auto h_shed = sched.submit(s, in, out);  // no deadline: timeout governs
+  EXPECT_FALSE(h_shed.ok());
+  EXPECT_EQ(h_shed.status().code(), StatusCode::kResourceExhausted);
+  blocker->release();
+  for (auto& h : queued) h.wait();
+  sched.shutdown();
+}
+
+TEST(SchedulerShutdown, RejectedHandleCarriesUnavailable) {
+  auto s = std::make_shared<ScriptedSession>("scripted_rej", 1);
+  RequestScheduler sched{SchedulerConfig{}};
+  sched.shutdown();
+  const float in[4] = {0, 0, 0, 0};
+  float out[4];
+  auto h = sched.submit(s, in, out);
+  EXPECT_FALSE(h.ok());
+  EXPECT_TRUE(h.done());
+  EXPECT_EQ(h.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s->runs.load(), 0);
+  const auto c = sched.counters();
+  EXPECT_EQ(c.submitted, 1u);
+  EXPECT_EQ(c.rejected, 1u);
+}
+
+TEST(SchedulerShutdown, DestructorWithQueuedRequestsResolvesEveryHandle) {
+  auto s = std::make_shared<ScriptedSession>("scripted_dtor", 2);
+  const float in[4] = {1, 2, 3, 4};
+  constexpr int kReqs = 24;
+  float outs[kReqs][4];
+  std::vector<RequestHandle> handles;
+  {
+    SchedulerConfig cfg;
+    cfg.max_batch = 2;
+    cfg.batch_usecs = 1000;
+    RequestScheduler sched(cfg);
+    for (int i = 0; i < kReqs; ++i) {
+      handles.push_back(sched.submit(s, in, outs[i]));
+    }
+    // Destructor implies shutdown(): drains the queue, completes everything.
+  }
+  for (auto& h : handles) {
+    EXPECT_TRUE(h.done());
+    EXPECT_TRUE(h.status().ok());
+  }
+  EXPECT_EQ(s->runs.load(), kReqs);
+}
+
+TEST(SchedulerShutdown, SubmitRacingShutdownResolvesEveryHandleExactlyOnce) {
+  auto s = std::make_shared<ScriptedSession>("scripted_race", 4);
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_usecs = 0;
+  RequestScheduler sched(cfg);
+  constexpr int kProducers = 4, kPerProducer = 50;
+  const float in[4] = {1, 1, 1, 1};
+  static float sink[kProducers][4];  // rejected requests never write anyway
+  std::vector<std::vector<RequestHandle>> handles(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        handles[static_cast<std::size_t>(p)].push_back(
+            sched.submit(s, in, sink[p]));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  sched.shutdown();  // races the producers mid-submit
+  for (auto& t : producers) t.join();
+
+  std::uint64_t ok = 0, rejected = 0;
+  for (auto& per : handles) {
+    for (auto& h : per) {
+      h.wait();
+      EXPECT_TRUE(h.done());
+      if (h.status().ok()) {
+        ++ok;
+        EXPECT_TRUE(h.ok());
+      } else {
+        ++rejected;
+        EXPECT_EQ(h.status().code(), StatusCode::kUnavailable);
+        EXPECT_FALSE(h.ok());
+      }
+    }
+  }
+  const auto c = sched.counters();
+  EXPECT_EQ(c.submitted,
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(c.completed, ok);
+  EXPECT_EQ(c.rejected, rejected);
+  EXPECT_EQ(c.completed + c.failed + c.expired + c.shed + c.rejected,
+            c.submitted);
+}
+
+// --- registry: status lookup + quarantine ------------------------------------
+
+TEST(ModelRegistry, LookupReturnsStatusAndQuarantineMarks) {
+  ModelRegistry reg;
+  auto s = make_mlp_session("mlp_lookup", tiny_mlp(), 1, 91);
+  reg.add(s);
+
+  auto found = reg.lookup("mlp_lookup");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), s);
+
+  auto missing = reg.lookup("nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(missing.value_or(nullptr), nullptr);
+
+  EXPECT_EQ(reg.healthy_count(), 1u);
+  EXPECT_EQ(reg.quarantine("nope", "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(reg.quarantine("mlp_lookup", "operator pulled it").ok());
+  EXPECT_FALSE(s->healthy());
+  EXPECT_EQ(s->health_reason(), "operator pulled it");
+  EXPECT_EQ(reg.healthy_count(), 0u);
+  // Quarantined sessions still resolve: callers decide on health.
+  EXPECT_TRUE(reg.lookup("mlp_lookup").ok());
+  s->mark_healthy();
+  EXPECT_EQ(reg.healthy_count(), 1u);
+}
+
+TEST(ModelRegistry, LookupFaultSiteReportsUnavailable) {
+  ModelRegistry reg;
+  reg.add(make_mlp_session("mlp_flt", tiny_mlp(), 1, 92));
+  fault::configure("registry_lookup:fail:1.0", 3);
+  auto r = reg.lookup("mlp_flt");
+  fault::reset();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(reg.lookup("mlp_flt").ok());  // disarmed: resolves again
+}
+
+// --- chaos: the ISSUE acceptance scenario ------------------------------------
+
+// >= 1000 mixed-model requests on 2 shards with kernel faults injected at a
+// seeded rate. The process must never terminate, every handle must resolve
+// to exactly one terminal status, the terminal counters must account for
+// every submit exactly, and every OK output must be bitwise-identical to the
+// fault-free reference. Spec/seed are overridable from the environment (the
+// CI chaos job varies them); sessions are built BEFORE arming so
+// construction never draws chaos events.
+TEST(SchedulerChaos, InjectedKernelFaultsNeverCrashAndAccountExactly) {
+  fault::reset();  // construction below must not draw env-armed events
+  std::vector<std::shared_ptr<Session>> sessions = {
+      make_mlp_session("mlp_chaos", tiny_mlp(), /*lanes=*/4, 311),
+      make_bert_session("bert_chaos", tiny_bert(), /*lanes=*/4, 312),
+  };
+  sessions[0]->pin_partition(0);
+  sessions[1]->pin_partition(1);
+  constexpr int kPerModel = 520;  // 1040 total
+  constexpr int kInputs = 8;      // distinct inputs, cycled
+
+  // Fault-free references.
+  std::vector<std::vector<std::vector<float>>> ins(sessions.size());
+  std::vector<std::vector<std::vector<float>>> want(sessions.size());
+  for (std::size_t m = 0; m < sessions.size(); ++m) {
+    for (int i = 0; i < kInputs; ++i) {
+      ins[m].push_back(
+          make_input(*sessions[m], 900 + static_cast<std::uint64_t>(i)));
+      want[m].emplace_back(
+          static_cast<std::size_t>(sessions[m]->output_elems()));
+      sessions[m]->run(0, ins[m].back().data(), want[m].back().data());
+    }
+  }
+
+  const std::string spec =
+      common::env_str("PLT_FAULT_SPEC", "kernel_exec:throw:0.05");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(common::env_int("PLT_FAULT_SEED", 7));
+  fault::configure(spec, seed);
+
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_usecs = 200;
+  cfg.shards = 2;
+  cfg.quarantine = false;  // keep faulted sessions serving: rate, not gate
+  {
+    RequestScheduler sched(cfg);
+    std::vector<RequestHandle> handles;
+    std::vector<std::vector<float>> outs;
+    std::vector<std::pair<std::size_t, int>> tags;  // (model, input index)
+    outs.reserve(sessions.size() * kPerModel);
+    for (int i = 0; i < kPerModel; ++i) {
+      for (std::size_t m = 0; m < sessions.size(); ++m) {
+        outs.emplace_back(
+            static_cast<std::size_t>(sessions[m]->output_elems()));
+        tags.emplace_back(m, i % kInputs);
+        handles.push_back(sched.submit(sessions[m],
+                                       ins[m][tags.back().second].data(),
+                                       outs.back().data()));
+      }
+    }
+    std::uint64_t ok = 0, failed = 0;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      handles[i].wait();
+      ASSERT_TRUE(handles[i].done());
+      const Status st = handles[i].status();
+      if (st.ok()) {
+        ++ok;
+        const auto [m, k] = tags[i];
+        ASSERT_EQ(0, std::memcmp(want[m][static_cast<std::size_t>(k)].data(),
+                                 outs[i].data(),
+                                 outs[i].size() * sizeof(float)))
+            << sessions[m]->name() << " request " << i
+            << " (OK output diverged from the fault-free reference)";
+      } else {
+        ++failed;
+        EXPECT_EQ(st.code(), StatusCode::kInternal) << st.to_string();
+        EXPECT_NE(st.message().find("injected fault"), std::string::npos);
+      }
+    }
+    fault::reset();
+    sched.shutdown();
+    const auto c = sched.counters();
+    EXPECT_EQ(c.submitted, handles.size());
+    EXPECT_EQ(c.completed, ok);
+    EXPECT_EQ(c.failed, failed);
+    EXPECT_EQ(c.completed + c.failed + c.expired + c.shed + c.rejected,
+              c.submitted);
+    // With the default 5% spec some faults should actually have fired; a
+    // custom env spec may legitimately produce zero (e.g. queue_push only).
+    if (spec == "kernel_exec:throw:0.05") {
+      EXPECT_GT(failed, 0u);
+      EXPECT_LT(failed, handles.size() / 4);
+    }
+  }
+  fault::reset();
+}
+
+TEST(SchedulerChaos, QuarantineIsolatesFaultedSessionAndRecovers) {
+  fault::reset();
+  auto victim = make_mlp_session("mlp_chaos_q", tiny_mlp(), /*lanes=*/2, 313);
+  auto bystander = std::make_shared<ScriptedSession>("scripted_chaos_q", 2);
+  SchedulerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_usecs = 0;
+  cfg.quarantine = true;
+  RequestScheduler sched(cfg);
+
+  const auto in = make_input(*victim, 77);
+  std::vector<float> out(static_cast<std::size_t>(victim->output_elems()));
+  const float sin[4] = {1, 1, 1, 1};
+  float sout[4];
+
+  fault::configure("kernel_exec:throw:1.0", 1);
+  auto h = sched.submit(victim, in.data(), out.data());
+  ASSERT_TRUE(h.ok());
+  h.wait();
+  fault::reset();
+  EXPECT_EQ(h.status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(victim->healthy());
+
+  // Victim rejected; the bystander session is untouched by the quarantine.
+  auto h_rej = sched.submit(victim, in.data(), out.data());
+  EXPECT_EQ(h_rej.status().code(), StatusCode::kUnavailable);
+  auto h_by = sched.submit(bystander, sin, sout);
+  h_by.wait();
+  EXPECT_TRUE(h_by.status().ok());
+
+  // Recovery: the lanes are stateless, so re-admission serves correctly.
+  victim->mark_healthy();
+  std::vector<float> want(static_cast<std::size_t>(victim->output_elems()));
+  victim->run(0, in.data(), want.data());
+  auto h_ok = sched.submit(victim, in.data(), out.data());
+  ASSERT_TRUE(h_ok.ok());
+  h_ok.wait();
+  ASSERT_TRUE(h_ok.status().ok());
+  EXPECT_EQ(0, std::memcmp(want.data(), out.data(),
+                           want.size() * sizeof(float)));
+  sched.shutdown();
+  const auto c = sched.counters();
+  EXPECT_EQ(c.completed + c.failed + c.expired + c.shed + c.rejected,
+            c.submitted);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "common/threading.hpp"
 #include "parlooper/threaded_loop.hpp"
@@ -656,6 +657,173 @@ TEST(KernelCache, ClearInvalidatesThreadLocalMemo) {
   const auto s = cache.stats();
   EXPECT_EQ(s.misses, 1u);
   EXPECT_EQ(s.hits, 0u);
+}
+
+// --- exception firewall ------------------------------------------------------
+
+TEST(ThreadPoolFirewall, WorkerExceptionRethrownOnDispatcherAndPoolReusable) {
+  ThreadPool pool(4);
+  struct Ctx {
+    std::atomic<int>* ran;
+  };
+  std::atomic<int> ran{0};
+  Ctx ctx{&ran};
+  const auto throwing = [](void* c, int tid, int nthreads) {
+    (void)nthreads;
+    static_cast<Ctx*>(c)->ran->fetch_add(1);
+    if (tid == 2) throw RuntimeError(StatusCode::kInternal, "poisoned body");
+  };
+  try {
+    pool.run(throwing, &ctx);
+    FAIL() << "worker exception was not rethrown";
+  } catch (const RuntimeError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInternal);
+    EXPECT_STREQ(e.what(), "poisoned body");
+  }
+  // The pool stays fully usable: every member runs the next region.
+  ran.store(0);
+  pool.run(
+      [](void* c, int, int) { static_cast<Ctx*>(c)->ran->fetch_add(1); },
+      &ctx);
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolFirewall, DispatcherOwnExceptionRethrown) {
+  ThreadPool pool(4);
+  try {
+    pool.run(
+        [](void*, int tid, int) {
+          if (tid == 0) throw std::invalid_argument("tid0 threw");
+        },
+        nullptr);
+    FAIL() << "dispatcher exception was not rethrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "tid0 threw");
+  }
+  std::atomic<int> ran{0};
+  pool.run(
+      [](void* c, int, int) { static_cast<std::atomic<int>*>(c)->fetch_add(1); },
+      &ran);
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolFirewall, ThrowBeforeBarrierDoesNotDeadlock) {
+  // One member throws BEFORE a barrier its teammates wait at: without the
+  // abort protocol the waiters would spin on an arrival that never comes.
+  ThreadPool pool(4, /*pin=*/true, /*partitions=*/2);
+  struct Ctx {
+    ThreadPool* pool;
+    std::atomic<int>* past_barrier;
+  };
+  std::atomic<int> past_barrier{0};
+  Ctx ctx{&pool, &past_barrier};
+  EXPECT_THROW(
+      pool.run(
+          [](void* c, int tid, int) {
+            auto* x = static_cast<Ctx*>(c);
+            if (tid == 1) {
+              throw RuntimeError(StatusCode::kInternal, "pre-barrier");
+            }
+            x->pool->barrier(tid);
+            x->past_barrier->fetch_add(1);
+          },
+          &ctx),
+      RuntimeError);
+  // Barrier/dispatch state was reset: a barrier-bearing region completes.
+  past_barrier.store(0);
+  pool.run(
+      [](void* c, int tid, int) {
+        auto* x = static_cast<Ctx*>(c);
+        x->pool->barrier(tid);
+        x->past_barrier->fetch_add(1);
+      },
+      &ctx);
+  EXPECT_EQ(past_barrier.load(), 4);
+}
+
+TEST(ThreadPoolFirewall, RunOnRethrowsAndIsolatesPartitions) {
+  ThreadPool pool(4, /*pin=*/true, /*partitions=*/2);
+  ASSERT_EQ(pool.partitions(), 2);
+  // Partition 1 is all pinned workers (the caller only dispatches): the
+  // exception still lands on the calling thread.
+  EXPECT_THROW(pool.run_on(
+                   1,
+                   [](void*, int tid, int) {
+                     if (tid == 0) {
+                       throw RuntimeError(StatusCode::kInternal, "p1 failed");
+                     }
+                   },
+                   nullptr),
+               RuntimeError);
+  // Both partitions stay serviceable afterwards, including with barriers.
+  for (int p = 0; p < 2; ++p) {
+    struct Ctx {
+      ThreadPool* pool;
+      std::atomic<int>* ran;
+    };
+    std::atomic<int> ran{0};
+    Ctx ctx{&pool, &ran};
+    pool.run_on(
+        p,
+        [](void* c, int tid, int) {
+          auto* x = static_cast<Ctx*>(c);
+          x->pool->barrier(tid);
+          x->ran->fetch_add(1);
+        },
+        &ctx);
+    EXPECT_EQ(ran.load(), pool.partition_size(p)) << p;
+  }
+}
+
+TEST(ThreadPoolFirewall, NestedSerialRegionPropagatesToOuterFirewall) {
+  ThreadPool pool(2);
+  struct Ctx {
+    ThreadPool* pool;
+  } ctx{&pool};
+  // The nested dispatch degrades to a serial call inside the outer body, so
+  // its exception unwinds the outer body on whatever member ran it — and the
+  // outer firewall hands it to the dispatcher.
+  EXPECT_THROW(pool.run(
+                   [](void* c, int tid, int) {
+                     if (tid != 1) return;
+                     static_cast<Ctx*>(c)->pool->run(
+                         [](void*, int, int) {
+                           throw RuntimeError(StatusCode::kUnavailable,
+                                              "nested");
+                         },
+                         nullptr);
+                   },
+                   &ctx),
+               RuntimeError);
+  std::atomic<int> ran{0};
+  pool.run(
+      [](void* c, int, int) { static_cast<std::atomic<int>*>(c)->fetch_add(1); },
+      &ran);
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolFirewall, ParallelRegionRethrowsUnderEveryRuntime) {
+  // Backend-generic contract: the first exception from any member reaches
+  // the calling thread (serial: direct; omp: captured + rethrown; pool:
+  // abort protocol). No barrier in the body — OpenMP barriers are
+  // all-or-none, so barrier interplay is pool-specific (tested above).
+  std::atomic<int> attempts{0};
+  try {
+    parallel_region([&](int tid, int nthreads) {
+      attempts.fetch_add(1);
+      if (tid == nthreads - 1) {
+        throw RuntimeError(StatusCode::kInternal, "region body failed");
+      }
+    });
+    FAIL() << "parallel_region swallowed the exception";
+  } catch (const RuntimeError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInternal);
+  }
+  EXPECT_GE(attempts.load(), 1);
+  // The backend still serves regions afterwards.
+  std::atomic<int> ran{0};
+  parallel_region([&](int, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), max_threads());
 }
 
 }  // namespace
