@@ -10,14 +10,19 @@
 //     queue + dispatcher per pool partition, sessions pinned to partitions,
 //     idle-shard work stealing) and serving_sharded_vs_single (ratio)
 //   serve_<model>_* per-model latency/throughput/queue-depth stats
+//   serving_decode_p{50,95,99}_{fifo,cont}_us latency-class LLM decode tail
+//     latency on a mixed llm/bert tape, FIFO baseline (priority + stepping
+//     off) vs continuous batching (priority classes + token-granular decode)
+//   serving_decode_tail_speedup (p95 fifo/cont ratio)
 //   serving_<terminal>_requests terminal accounting counters (submitted ==
 //     completed + failed + expired + shed + rejected; all but completed are 0
 //     on a clean run — chaos runs with PLT_FAULT_SPEC move the split)
 //   pool_* ThreadPool::stats() dispatch/steal counters
 // bench/check_overhead.py --serving gates the scheduler-vs-naive speedup in
 // CI (>= 1.5x); --partitioned gates sharded-vs-single (>= 1.3x with
-// PLT_POOL_PARTITIONS=2). This binary exits non-zero if batched results are
-// not bitwise-identical to sequential execution — sharded or not.
+// PLT_POOL_PARTITIONS=2); --decode-tail gates the decode p95 improvement
+// (>= 1.3x). This binary exits non-zero if batched results are not
+// bitwise-identical to sequential execution — sharded, stepped, or not.
 #include <algorithm>
 #include <cstring>
 #include <thread>
@@ -172,6 +177,97 @@ double run_scheduled(const Workload& w, RequestBuffers& b,
   return secs;
 }
 
+double percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+// Decode-tail scenario: one client streams latency-class LLM decode requests
+// with a small inter-arrival gap while another bursts throughput-class BERT
+// traffic at the same scheduler. Returns the pooled per-request LLM
+// latencies plus the session's mean decode-region occupancy.
+struct DecodeTail {
+  std::vector<double> llm_lat_us;
+  double occupancy = 0.0;
+};
+
+DecodeTail run_decode_tail(const std::shared_ptr<serving::Session>& llm,
+                           const std::shared_ptr<serving::Session>& bert,
+                           RequestBuffers& lb, RequestBuffers& bb,
+                           const serving::SchedulerConfig& cfg, int iters) {
+  const Runtime saved = runtime();
+  set_runtime(Runtime::kPool);
+  DecodeTail r;
+  double occ_sum = 0.0;
+  int occ_n = 0;
+  for (int it = 0; it < iters; ++it) {
+    serving::RequestScheduler sched(cfg);
+    std::vector<serving::RequestHandle> lh(lb.ins.size());
+    std::atomic<bool> llm_active{true};
+    // The throughput client keeps the scheduler under sustained BERT
+    // pressure for as long as the decode stream is live (cycle after cycle,
+    // not one finite burst that could drain before the decodes arrive).
+    std::thread bert_client([&] {
+      // Rolling queue depth: keep several bert batches outstanding at once
+      // (wait-all per batch would leave at most one group in the scheduler —
+      // nothing queued for a latency request to overtake). A buffer slot is
+      // reused only after its batch has been waited on.
+      const std::size_t batch = 8;
+      const std::size_t depth = bb.ins.size() / batch;  // concurrent batches
+      std::deque<std::vector<serving::RequestHandle>> inflight;
+      std::size_t slot = 0;
+      while (llm_active.load(std::memory_order_acquire)) {
+        std::vector<serving::RequestHandle> bh;
+        bh.reserve(batch);
+        for (std::size_t i = 0; i < batch; ++i) {
+          const std::size_t b = (slot + i) % bb.ins.size();
+          serving::Request req;
+          req.in = bb.ins[b].data();
+          req.out = bb.outs[b].data();
+          req.cls = serving::RequestClass::kThroughput;
+          bh.push_back(sched.submit(bert, req));
+        }
+        slot = (slot + batch) % bb.ins.size();
+        inflight.push_back(std::move(bh));
+        if (inflight.size() >= depth) {
+          for (auto& h : inflight.front()) h.wait();
+          inflight.pop_front();
+        }
+      }
+      for (auto& bh : inflight) {
+        for (auto& h : bh) h.wait();
+      }
+    });
+    std::thread llm_client([&] {
+      for (std::size_t i = 0; i < lb.ins.size(); ++i) {
+        lh[i] = sched.submit(
+            llm, serving::Request{lb.ins[i].data(), lb.outs[i].data()});
+        // Interactive decode arrival process: requests trickle in while the
+        // throughput traffic is in flight, so mid-stream joins actually
+        // occur.
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+      for (auto& h : lh) h.wait();
+      llm_active.store(false, std::memory_order_release);
+    });
+    llm_client.join();
+    bert_client.join();
+    for (auto& h : lh) r.llm_lat_us.push_back(h.latency_us());
+    sched.shutdown();
+    for (const auto& st : sched.stats()) {
+      if (st.model == llm->name() && st.decode_steps > 0) {
+        occ_sum += st.mean_decode_occupancy();
+        ++occ_n;
+      }
+    }
+  }
+  r.occupancy = occ_n ? occ_sum / occ_n : 0.0;
+  set_runtime(saved);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,9 +328,14 @@ int main(int argc, char** argv) {
 
   // Scheduler, single shard: one queue, one dispatcher, whole-team batches —
   // the PR 3 layout, kept as the sharding baseline and the serving_scheduler
-  // rows' meaning across PRs.
+  // rows' meaning across PRs. Priority classes and decode stepping are
+  // pinned OFF here (and in the sharded section) so these rows keep
+  // measuring the same thing they always did; the decode-tail section below
+  // measures the new machinery.
   serving::SchedulerConfig single_cfg = cfg;
   single_cfg.shards = 1;
+  single_cfg.priority = false;
+  single_cfg.decode_step_tokens = 0;
   serving::RequestScheduler sched(single_cfg);
   RequestBuffers batched = make_buffers(w);
   run_scheduled(w, batched, sched, producers);  // warmup
@@ -268,6 +369,8 @@ int main(int argc, char** argv) {
   w.sessions[0]->pin_partition(1 % nparts);
   serving::SchedulerConfig sharded_cfg = cfg;
   sharded_cfg.shards = 0;  // auto: one shard per partition
+  sharded_cfg.priority = false;
+  sharded_cfg.decode_step_tokens = 0;
   serving::RequestScheduler sharded(sharded_cfg);
   RequestBuffers shard_out = make_buffers(w);
   run_scheduled(w, shard_out, sharded, producers);  // warmup
@@ -297,6 +400,114 @@ int main(int argc, char** argv) {
   const double sharded_vs_single = sched_s / sharded_s;
   std::printf("sharded vs single-shard scheduler: %.2fx\n", sharded_vs_single);
   json.add_value("serving_sharded_vs_single", sharded_vs_single, "ratio");
+
+  // Decode tail latency: latency-class LLM decode streaming against a
+  // throughput-class BERT burst, FIFO baseline (priority + stepping off, the
+  // pre-redesign scheduler) vs continuous batching (class-aware flush order
+  // + token-granular decode with mid-stream joins). The ISSUE acceptance
+  // gate is the p95 ratio (check_overhead.py --decode-tail, >= 1.3x).
+  // Dedicated decode-tail LLM session: heavier per-token compute and fewer
+  // lanes than the throughput mix, so a just-missed monolithic batch is a
+  // real tail event (the FIFO failure mode continuous batching removes) and
+  // token windows amortize their region dispatch.
+  dl::LlmConfig dec_cfg;
+  dec_cfg.hidden = 32;
+  dec_cfg.heads = 2;
+  dec_cfg.layers = 2;
+  dec_cfg.ffn = 64;
+  dec_cfg.vocab = 128;
+  dec_cfg.max_seq = 64;
+  dec_cfg.bm = dec_cfg.bn = dec_cfg.bk = 8;
+  // Lanes cover the whole arrival burst: a lane-starved latency group cannot
+  // flush, and flush_ready would fall through to the throughput class right
+  // in front of the waiting decodes.
+  const auto llm_sess = serving::make_llm_session(
+      "llm_decode", dec_cfg, /*prompt=*/8, /*gen=*/24, /*lanes=*/24, 107);
+  // Dedicated throughput-pressure BERT, much heavier than the mixed-tape one:
+  // each batch is a long region, so the FIFO baseline (which alternates with
+  // it by age) pays for every interleaved batch while the priority scheduler
+  // overtakes all but the in-flight one.
+  dl::BertConfig dec_bert;
+  dec_bert.hidden = 32;
+  dec_bert.heads = 2;
+  dec_bert.intermediate = 128;
+  dec_bert.layers = 2;
+  dec_bert.seq_len = 16;
+  dec_bert.bm = dec_bert.bn = dec_bert.bk = 8;
+  const auto bert_sess =
+      serving::make_bert_session("bert_pressure", dec_bert, /*lanes=*/8, 108);
+  const int n_llm = full ? 24 : (smoke ? 10 : 16);
+  const int n_bert = 24;  // 3 batches of 8 outstanding (rolling queue depth)
+  RequestBuffers llm_buf, bert_buf;
+  for (int i = 0; i < n_llm; ++i) {
+    std::vector<float> in(static_cast<std::size_t>(llm_sess->input_elems()));
+    Xoshiro256 rng(5000 + static_cast<std::uint64_t>(i));
+    fill_uniform(in.data(), in.size(), rng, -1.0f, 1.0f);
+    llm_buf.ins.push_back(std::move(in));
+    llm_buf.outs.emplace_back(
+        static_cast<std::size_t>(llm_sess->output_elems()), 0.0f);
+  }
+  for (int i = 0; i < n_bert; ++i) {
+    std::vector<float> in(static_cast<std::size_t>(bert_sess->input_elems()));
+    Xoshiro256 rng(6000 + static_cast<std::uint64_t>(i));
+    fill_uniform(in.data(), in.size(), rng, -1.0f, 1.0f);
+    bert_buf.ins.push_back(std::move(in));
+    bert_buf.outs.emplace_back(
+        static_cast<std::size_t>(bert_sess->output_elems()), 0.0f);
+  }
+  // Monolithic sequential references for the stepped bitwise re-check.
+  std::vector<std::vector<float>> llm_want;
+  {
+    const Runtime saved = runtime();
+    set_runtime(Runtime::kPool);
+    for (int i = 0; i < n_llm; ++i) {
+      llm_want.emplace_back(
+          static_cast<std::size_t>(llm_sess->output_elems()));
+      llm_sess->run(0, llm_buf.ins[static_cast<std::size_t>(i)].data(),
+                    llm_want.back().data());
+    }
+    set_runtime(saved);
+  }
+
+  serving::SchedulerConfig fifo_cfg = cfg;
+  fifo_cfg.shards = 1;
+  fifo_cfg.priority = false;
+  fifo_cfg.decode_step_tokens = 0;
+  serving::SchedulerConfig cont_cfg = cfg;
+  cont_cfg.shards = 1;
+  cont_cfg.priority = true;
+  cont_cfg.decode_step_tokens = 4;  // 6 windows/stream: joins stay token-
+                                    // granular, dispatch overhead amortizes
+
+  run_decode_tail(llm_sess, bert_sess, llm_buf, bert_buf, fifo_cfg, 1);
+  const DecodeTail fifo =
+      run_decode_tail(llm_sess, bert_sess, llm_buf, bert_buf, fifo_cfg, iters);
+  const DecodeTail cont =
+      run_decode_tail(llm_sess, bert_sess, llm_buf, bert_buf, cont_cfg, iters);
+  const double p50_fifo = percentile(fifo.llm_lat_us, 0.50);
+  const double p95_fifo = percentile(fifo.llm_lat_us, 0.95);
+  const double p99_fifo = percentile(fifo.llm_lat_us, 0.99);
+  const double p50_cont = percentile(cont.llm_lat_us, 0.50);
+  const double p95_cont = percentile(cont.llm_lat_us, 0.95);
+  const double p99_cont = percentile(cont.llm_lat_us, 0.99);
+  std::printf("\ndecode tail (llm latency-class vs bert burst, %zu samples)\n",
+              fifo.llm_lat_us.size());
+  std::printf("  %-22s p50 %8.1f us   p95 %8.1f us   p99 %8.1f us\n",
+              "fifo baseline", p50_fifo, p95_fifo, p99_fifo);
+  std::printf("  %-22s p50 %8.1f us   p95 %8.1f us   p99 %8.1f us "
+              "(occupancy %.2f)\n",
+              "continuous batching", p50_cont, p95_cont, p99_cont,
+              cont.occupancy);
+  const double tail_speedup = p95_cont > 0.0 ? p95_fifo / p95_cont : 0.0;
+  std::printf("decode p95 tail speedup: %.2fx\n", tail_speedup);
+  json.add_value("serving_decode_p50_fifo_us", p50_fifo, "us");
+  json.add_value("serving_decode_p95_fifo_us", p95_fifo, "us");
+  json.add_value("serving_decode_p99_fifo_us", p99_fifo, "us");
+  json.add_value("serving_decode_p50_cont_us", p50_cont, "us");
+  json.add_value("serving_decode_p95_cont_us", p95_cont, "us");
+  json.add_value("serving_decode_p99_cont_us", p99_cont, "us");
+  json.add_value("serving_decode_occupancy", cont.occupancy, "requests");
+  json.add_value("serving_decode_tail_speedup", tail_speedup, "ratio");
 
   // Per-model serving stats.
   std::vector<int> tape_count(w.sessions.size(), 0);
@@ -348,8 +559,10 @@ int main(int argc, char** argv) {
   bench::report_pool_stats(json);
 
   // Determinism gate: batched == sequential, byte for byte, per request —
-  // for the single-shard and the sharded (work-stealing) layouts alike.
-  int bad = 0, bad_sharded = 0;
+  // for the single-shard and sharded (work-stealing) layouts, and for the
+  // stepped decode outputs of the continuous-batching run vs the monolithic
+  // sequential reference.
+  int bad = 0, bad_sharded = 0, bad_stepped = 0;
   for (std::size_t i = 0; i < w.tape.size(); ++i) {
     if (std::memcmp(ref.outs[i].data(), batched.outs[i].data(),
                     ref.outs[i].size() * sizeof(float)) != 0) {
@@ -360,13 +573,19 @@ int main(int argc, char** argv) {
       ++bad_sharded;
     }
   }
-  if (bad != 0 || bad_sharded != 0) {
-    std::printf("\nFAIL: %d/%d batched and %d/%d sharded results differ "
-                "from sequential execution\n", bad, requests, bad_sharded,
-                requests);
+  for (std::size_t i = 0; i < llm_buf.outs.size(); ++i) {
+    if (std::memcmp(llm_want[i].data(), llm_buf.outs[i].data(),
+                    llm_want[i].size() * sizeof(float)) != 0) {
+      ++bad_stepped;
+    }
+  }
+  if (bad != 0 || bad_sharded != 0 || bad_stepped != 0) {
+    std::printf("\nFAIL: %d/%d batched, %d/%d sharded and %d/%d stepped "
+                "results differ from sequential execution\n",
+                bad, requests, bad_sharded, requests, bad_stepped, n_llm);
     return 1;
   }
-  std::printf("\nbatched + sharded results bitwise-identical to sequential "
-              "execution (%d requests) OK\n", requests);
+  std::printf("\nbatched + sharded + stepped results bitwise-identical to "
+              "sequential execution (%d + %d requests) OK\n", requests, n_llm);
   return 0;
 }

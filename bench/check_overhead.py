@@ -17,6 +17,12 @@ Partitioned mode — sharded serving on the partitioned pool:
   sessions, idle-shard stealing) must beat the single-shard scheduler by
   >= min_ratio (default 1.3). Run with PLT_POOL_PARTITIONS=2; the gate is
   skipped when the bench recorded fewer than 2 shards (nothing to compare).
+
+Decode-tail mode — priority classes + continuous LLM-decode batching:
+    check_overhead.py --decode-tail BENCH_serving.json [min_ratio]
+  Latency-class LLM decode p95 on the mixed llm/bert tape must improve by
+  >= min_ratio (default 1.3) with continuous batching on (priority classes +
+  token-granular decode) vs the FIFO baseline.
 """
 import json
 import sys
@@ -90,6 +96,25 @@ def check_partitioned(path: str, min_ratio: float) -> int:
     return 0
 
 
+def check_decode_tail(path: str, min_ratio: float) -> int:
+    with open(path) as f:
+        data = json.load(f)
+    values = {r["name"]: r.get("value") for r in data["records"]}
+    fifo = values.get("serving_decode_p95_fifo_us")
+    cont = values.get("serving_decode_p95_cont_us")
+    ratio = values.get("serving_decode_tail_speedup")
+    if fifo is None or cont is None or ratio is None:
+        print(f"missing decode-tail records in {path}: {sorted(values)}")
+        return 1
+    print(f"decode p95: fifo={fifo:.1f}us continuous={cont:.1f}us "
+          f"speedup={ratio:.2f}x (required >= {min_ratio}x)")
+    if ratio < min_ratio:
+        print("FAIL: continuous batching lost its decode tail-latency "
+              "advantage over the FIFO baseline")
+        return 1
+    return 0
+
+
 def main() -> int:
     args = sys.argv[1:]
     serving = "--serving" in args
@@ -98,6 +123,9 @@ def main() -> int:
     partitioned = "--partitioned" in args
     if partitioned:
         args.remove("--partitioned")
+    decode_tail = "--decode-tail" in args
+    if decode_tail:
+        args.remove("--decode-tail")
     if serving:
         path = args[0] if args else "BENCH_serving.json"
         min_ratio = float(args[1]) if len(args) > 1 else 1.5
@@ -106,6 +134,10 @@ def main() -> int:
         path = args[0] if args else "BENCH_serving.json"
         min_ratio = float(args[1]) if len(args) > 1 else 1.3
         return check_partitioned(path, min_ratio)
+    if decode_tail:
+        path = args[0] if args else "BENCH_serving.json"
+        min_ratio = float(args[1]) if len(args) > 1 else 1.3
+        return check_decode_tail(path, min_ratio)
     path = args[0] if args else "BENCH_micro_tpp.json"
     min_ratio = float(args[1]) if len(args) > 1 else 1.3
     return check_dispatch(path, min_ratio)

@@ -9,9 +9,10 @@
 //   ./example_serve_demo [seconds]
 //
 // Knobs: PLT_SERVE_MAX_BATCH, PLT_SERVE_BATCH_USECS, PLT_SERVE_QUEUE_CAP,
-// PLT_SERVE_DEADLINE_USECS, PLT_NUM_THREADS, PLT_RUNTIME, and the chaos pair
-// PLT_FAULT_SPEC / PLT_FAULT_SEED (e.g. PLT_FAULT_SPEC=kernel_exec:throw:0.01
-// fails ~1% of requests INTERNAL while everything else keeps serving).
+// PLT_SERVE_DEADLINE_USECS, PLT_SERVE_PRIORITY, PLT_SERVE_DECODE_STEP_TOKENS,
+// PLT_NUM_THREADS, PLT_RUNTIME, and the chaos pair PLT_FAULT_SPEC /
+// PLT_FAULT_SEED (e.g. PLT_FAULT_SPEC=kernel_exec:throw:0.01 fails ~1% of
+// requests INTERNAL while everything else keeps serving).
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -71,8 +72,9 @@ int main(int argc, char** argv) {
               ThreadPool::instance().size(),
               ThreadPool::instance().partitions(), scheduler.shard_count());
   for (const auto& s : sessions) {
-    std::printf("  %-6s -> partition %d\n", s->name().c_str(),
-                s->partition());
+    std::printf("  %-6s -> partition %d, default class %s\n",
+                s->name().c_str(), s->partition(),
+                serving::request_class_name(s->default_class()));
   }
 
   constexpr int kClients = 4;
@@ -90,7 +92,11 @@ int main(int argc, char** argv) {
         std::vector<float> in(static_cast<std::size_t>(s->input_elems()));
         std::vector<float> out(static_cast<std::size_t>(s->output_elems()));
         fill_uniform(in.data(), in.size(), rng, -1.0f, 1.0f);
-        auto h = scheduler.submit(s, in.data(), out.data());
+        serving::Request req;
+        req.in = in.data();
+        req.out = out.data();  // cls stays kSessionDefault: the session's
+                               // default class (llm -> latency) applies
+        auto h = scheduler.submit(s, req);
         if (!h.ok()) {
           // Shed/rejected at admission (or scheduler shut down): the handle
           // is already terminal with the reason attached.
@@ -122,15 +128,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(completed.load()),
               static_cast<unsigned long long>(not_ok.load()),
               completed.load() / secs);
-  std::printf("%-8s %9s %8s %11s %11s %11s %7s\n", "model", "requests",
-              "batches", "mean batch", "mean lat us", "max lat us", "depth");
+  std::printf("%-8s %9s %8s %11s %7s %6s %11s %11s %7s\n", "model",
+              "requests", "batches", "mean batch", "steps", "occ",
+              "mean lat us", "max lat us", "depth");
   for (const auto& st : scheduler.stats()) {
-    std::printf("%-8s %9llu %8llu %11.2f %11.1f %11.1f %7zu\n",
+    std::printf("%-8s %9llu %8llu %11.2f %7llu %6.2f %11.1f %11.1f %7zu\n",
                 st.model.c_str(),
                 static_cast<unsigned long long>(st.requests),
                 static_cast<unsigned long long>(st.batches), st.mean_batch(),
-                st.mean_latency_us(), st.max_latency_us,
-                st.pending_highwater);
+                static_cast<unsigned long long>(st.decode_steps),
+                st.mean_decode_occupancy(), st.mean_latency_us(),
+                st.max_latency_us, st.pending_highwater);
   }
   std::printf("admission-queue depth highwater: %zu\n",
               scheduler.queue_depth_highwater());
@@ -153,32 +161,42 @@ int main(int argc, char** argv) {
   std::vector<float> in(static_cast<std::size_t>(victim->input_elems()), 0.5f);
   std::vector<float> out(static_cast<std::size_t>(victim->output_elems()));
   const auto show = [&](const char* what, const serving::RequestHandle& h) {
-    std::printf("  %-34s -> %s (%.1f us)\n", what, h.status().to_string().c_str(),
+    std::printf("  %-34s -> %s [%s] (%.1f us)\n", what,
+                h.status().to_string().c_str(),
+                serving::request_class_name(h.request_class()),
                 h.latency_us());
   };
 
-  serving::SubmitOptions rush;
+  serving::Request rush;
+  rush.in = in.data();
+  rush.out = out.data();
+  rush.cls = serving::RequestClass::kLatency;
   rush.deadline_usecs = 1;  // expires while queued: never executes
-  auto h_dl = demo.submit(victim, in.data(), out.data(), rush);
+  auto h_dl = demo.submit(victim, rush);
   h_dl.wait();
   show("deadline_usecs=1", h_dl);
 
+  serving::Request plain;
+  plain.in = in.data();
+  plain.out = out.data();
+
   common::fault::configure("kernel_exec:throw:1.0", /*seed=*/1);
-  auto h_fault = demo.submit(victim, in.data(), out.data());
+  auto h_fault = demo.submit(victim, plain);
+  std::printf("  %-34s -> %s\n", "status() before done()",
+              h_fault.status().to_string().c_str());
   h_fault.wait();
   common::fault::reset();
   show("kernel_exec:throw:1.0 injected", h_fault);
 
   // The poisoned request quarantined its session; everyone else still serves.
-  auto h_q = demo.submit(victim, in.data(), out.data());
+  auto h_q = demo.submit(victim, plain);
   show("submit to quarantined session", h_q);
-  auto h_other = demo.submit(sessions[1 % sessions.size()],
-                             in.data(), out.data());
+  auto h_other = demo.submit(sessions[1 % sessions.size()], plain);
   h_other.wait();
   show("submit to healthy session", h_other);
 
   victim->mark_healthy();
-  auto h_back = demo.submit(victim, in.data(), out.data());
+  auto h_back = demo.submit(victim, plain);
   h_back.wait();
   show("after mark_healthy()", h_back);
   demo.shutdown();

@@ -23,6 +23,11 @@ enum class StatusCode : int {
   kUnavailable = 3,        // shutdown, quarantined session, missing backend
   kResourceExhausted = 4,  // load shed: saturated queue, allocation failure
   kInternal = 5,           // kernel/runtime failure (incl. injected faults)
+  // Non-terminal: the request is submitted but not yet resolved. Only ever
+  // observed through RequestHandle::status() before done(); a request never
+  // *completes* kInFlight, so it is not a wire/terminal code and does not
+  // appear in the scheduler's terminal accounting.
+  kInFlight = 6,
 };
 
 inline const char* status_code_name(StatusCode c) {
@@ -33,6 +38,7 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kInFlight: return "IN_FLIGHT";
   }
   return "UNKNOWN";
 }

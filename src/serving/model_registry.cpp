@@ -47,6 +47,18 @@ Status ModelRegistry::quarantine(const std::string& name,
   return Status::Ok();
 }
 
+Status ModelRegistry::set_default_class(const std::string& name,
+                                        RequestClass cls) {
+  if (cls == RequestClass::kSessionDefault) {
+    return Status::InvalidArgument(
+        "set_default_class: class must be latency or throughput");
+  }
+  std::shared_ptr<Session> s = find(name);
+  if (s == nullptr) return Status::InvalidArgument("unknown model: " + name);
+  s->set_default_class(cls);
+  return Status::Ok();
+}
+
 std::vector<std::shared_ptr<Session>> ModelRegistry::sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ordered_;

@@ -39,6 +39,11 @@ class ModelRegistry {
   // kInvalidArgument on an unknown name.
   Status quarantine(const std::string& name, const std::string& reason);
 
+  // Sets the named session's default priority class (applied to requests
+  // submitted kSessionDefault); kInvalidArgument on an unknown name or on
+  // kSessionDefault itself (a default cannot defer to itself).
+  Status set_default_class(const std::string& name, RequestClass cls);
+
   // Registration-ordered snapshot of every session.
   std::vector<std::shared_ptr<Session>> sessions() const;
 

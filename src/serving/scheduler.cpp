@@ -30,6 +30,9 @@ SchedulerConfig SchedulerConfig::from_env() {
       common::env_int("PLT_SERVE_SUBMIT_TIMEOUT_USECS",
                       def.submit_timeout_usecs, 0, 60000000);
   c.quarantine = common::env_flag("PLT_SERVE_QUARANTINE", def.quarantine);
+  c.priority = common::env_flag("PLT_SERVE_PRIORITY", def.priority);
+  c.decode_step_tokens = static_cast<int>(common::env_int(
+      "PLT_SERVE_DECODE_STEP_TOKENS", def.decode_step_tokens, 0, 4096));
   return c;
 }
 
@@ -130,8 +133,7 @@ void RequestScheduler::complete_terminal(detail::RequestState& r,
 }
 
 RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
-                                       const float* in, float* out,
-                                       const SubmitOptions& opts) {
+                                       const Request& req) {
   PLT_CHECK(session != nullptr, "serving: submit with null session");
   submitters_.fetch_add(1, std::memory_order_seq_cst);
   struct SubmitterGuard {
@@ -142,12 +144,20 @@ RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
 
   auto st = std::make_shared<detail::RequestState>();
   st->session = session;
-  st->in = in;
-  st->out = out;
+  st->in = req.in;
+  st->out = req.out;
   st->owner = this;
   st->t_submit = steady_clock::now();
-  const std::int64_t ddl = opts.deadline_usecs >= 0
-                               ? opts.deadline_usecs
+  st->cls = req.cls == RequestClass::kSessionDefault ? session->default_class()
+                                                     : req.cls;
+  PLT_CHECK(st->cls == RequestClass::kLatency ||
+                st->cls == RequestClass::kThroughput,
+            "serving: request class must resolve to latency or throughput");
+  // Fixed decode granularity per scheduler, so every request of one session
+  // agrees on steps_total — a pending group is always step-homogeneous.
+  st->steps_total = std::max(1, session->step_count(cfg_.decode_step_tokens));
+  const std::int64_t ddl = req.deadline_usecs >= 0
+                               ? req.deadline_usecs
                                : cfg_.default_deadline_usecs;
   if (ddl > 0) {
     st->has_deadline = true;
@@ -323,6 +333,109 @@ void RequestScheduler::execute_batch(
   done_cv_.notify_all();
 }
 
+std::vector<std::shared_ptr<detail::RequestState>>
+RequestScheduler::execute_steps(
+    int s, Session* session,
+    std::vector<std::shared_ptr<detail::RequestState>> reqs,
+    std::size_t pending_highwater) {
+  const int batch = static_cast<int>(reqs.size());
+  std::vector<detail::RequestState*> rp(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) rp[i] = reqs[i].get();
+
+  WallTimer exec_timer;
+  // One region per token window: team member t advances requests
+  // t, t + nthreads, ... by ONE step, each on the lane it holds across its
+  // whole lifetime (the lane's KV cache is the request's decode state). Same
+  // exec-mutex and per-request firewall rules as a monolithic batch.
+  {
+    std::lock_guard<std::mutex> lane_guard(session->exec_mutex());
+    const auto body = [&](int tid, int nthreads) {
+      for (int i = tid; i < batch; i += nthreads) {
+        try {
+          session->run_step(rp[i]->lane, rp[i]->in, rp[i]->out, rp[i]->step,
+                            cfg_.decode_step_tokens);
+        } catch (const std::exception& e) {
+          rp[i]->status = status_from_exception(e);
+        } catch (...) {
+          rp[i]->status = Status::Internal("unknown exception");
+        }
+      }
+    };
+    if (shard_count() > 1) {
+      const int home = session->partition();
+      const bool home_batch = home >= 0 && home % shard_count() == s;
+      parallel_region_on(home_batch ? home : s, body);
+    } else {
+      parallel_region(body);
+    }
+  }
+  const double exec_us = exec_timer.micros();
+
+  // Triage: a failed step resolves the request (its lane is released, batch-
+  // mates keep decoding); a request whose last step just ran completes OK;
+  // everything else survives to be re-admitted at the front of its group.
+  const auto now = steady_clock::now();
+  std::vector<std::shared_ptr<detail::RequestState>> survivors;
+  std::vector<std::shared_ptr<detail::RequestState>> terminal;
+  survivors.reserve(reqs.size());
+  double sum_lat = 0.0, max_lat = 0.0;
+  std::uint64_t n_ok = 0, n_failed = 0;
+  std::string first_failure;
+  for (auto& r : reqs) {
+    if (!r->status.ok()) {
+      ++n_failed;
+      if (first_failure.empty()) first_failure = r->status.to_string();
+    } else if (r->step + 1 < r->steps_total) {
+      ++r->step;
+      survivors.push_back(std::move(r));
+      continue;
+    } else {
+      ++n_ok;
+    }
+    // Terminal either way: resolve latency, free the lane for waiting
+    // step-0 requests (lane release is what re-opens admission under
+    // starvation), defer the done store until stats are recorded.
+    const double lat =
+        std::chrono::duration<double, std::micro>(now - r->t_submit).count();
+    r->latency_us = lat;
+    if (r->status.ok()) {
+      sum_lat += lat;
+      max_lat = std::max(max_lat, lat);
+    }
+    if (r->lane >= 0) {
+      session->release_lane(r->lane);
+      r->lane = -1;
+    }
+    terminal.push_back(std::move(r));
+  }
+  if (n_failed > 0 && cfg_.quarantine) session->mark_unhealthy(first_failure);
+  completed_.fetch_add(n_ok, std::memory_order_relaxed);
+  failed_.fetch_add(n_failed, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ModelStats& st = stats_[session->name()];
+    if (st.model.empty()) st.model = session->name();
+    st.requests += n_ok;
+    st.failed += n_failed;
+    st.decode_steps += 1;
+    st.decode_step_requests_sum += static_cast<std::uint64_t>(batch);
+    st.sum_latency_us += sum_lat;
+    st.max_latency_us = std::max(st.max_latency_us, max_lat);
+    st.sum_exec_us += exec_us;
+    st.pending_highwater = std::max(st.pending_highwater, pending_highwater);
+  }
+
+  if (!terminal.empty()) {
+    for (auto& r : terminal) r->done.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> g(done_mu_);
+    }
+    done_cv_.notify_all();
+  }
+  return survivors;
+}
+
 void RequestScheduler::dispatcher_main(int s) {
   Shard& shard = *shards_[static_cast<std::size_t>(s)];
   const int nshards = shard_count();
@@ -334,33 +447,74 @@ void RequestScheduler::dispatcher_main(int s) {
     pool.pin_caller_to_partition(s % pool.partitions());
   }
 
-  std::unordered_map<Session*, Pending> pending;
+  // One pending map per class: [0] latency, [1] throughput. With priority
+  // off, everything lands in [0] and the layout reduces to the class-blind
+  // pre-priority scheduler.
+  std::unordered_map<Session*, Pending> pending[2];
   std::size_t n_pending = 0;
+  const int nclasses = cfg_.priority ? 2 : 1;
 
   const auto effective_batch = [&](Session* sess) {
     return std::min(cfg_.max_batch, sess->lanes());
   };
-  const auto flush = [&](Pending& p) {
-    n_pending -= p.reqs.size();
+  const auto class_of = [&](const detail::RequestState& r) {
+    return cfg_.priority ? static_cast<std::size_t>(r.cls) : std::size_t{0};
+  };
+  // Flushes ONE execution window (up to effective_batch requests) from the
+  // front of group p: one monolithic batch, or one token-window step region
+  // for a steppable session — whose unfinished survivors are pushed back to
+  // the FRONT so they keep their slots at the next token boundary. Returns
+  // false only when nothing moved (every lane held by in-flight requests
+  // elsewhere and no request expired).
+  const auto flush = [&](Pending& p) -> bool {
+    if (p.reqs.empty()) return false;
+    Session* sess = p.reqs.front()->session.get();
     const std::size_t hw = p.highwater;
-    // Expire due requests at the last gate before execution: a request whose
-    // deadline passed while batched completes kDeadlineExceeded without
-    // running, its output buffer untouched.
     const auto now = steady_clock::now();
-    std::vector<std::shared_ptr<detail::RequestState>> live;
-    live.reserve(p.reqs.size());
-    for (auto& r : p.reqs) {
-      if (r->has_deadline && now >= r->deadline) {
+    std::vector<std::shared_ptr<detail::RequestState>> take;
+    bool progressed = false;
+    while (static_cast<int>(take.size()) < effective_batch(sess) &&
+           !p.reqs.empty()) {
+      auto r = std::move(p.reqs.front());
+      p.reqs.pop_front();
+      --n_pending;
+      // Expire due requests at the last gate before execution: a request
+      // whose deadline passed while batched completes kDeadlineExceeded
+      // without running, its output buffer untouched. Only never-executed
+      // requests expire — one past step 0 has partial output and a live
+      // lane, and always runs to completion.
+      if (r->step == 0 && r->has_deadline && now >= r->deadline) {
         complete_terminal(
             *r, Status::DeadlineExceeded("deadline passed while queued"));
-      } else {
-        live.push_back(std::move(r));
+        progressed = true;
+        continue;
       }
+      if (r->steps_total > 1 && r->lane < 0) {
+        r->lane = sess->acquire_lane();
+        if (r->lane < 0) {
+          // Lane starvation: every lane is held by an in-flight request
+          // (possibly on another shard, via stealing). Put the request back
+          // and retry once a completion frees a lane.
+          p.reqs.push_front(std::move(r));
+          ++n_pending;
+          break;
+        }
+      }
+      take.push_back(std::move(r));
     }
-    p.reqs.clear();
-    if (live.empty()) return;
-    Session* sess = live.front()->session.get();
-    execute_batch(s, sess, std::move(live), hw);
+    if (!p.reqs.empty()) p.oldest = p.reqs.front()->t_submit;
+    if (take.empty()) return progressed;
+    if (take.front()->steps_total > 1) {
+      auto survivors = execute_steps(s, sess, std::move(take), hw);
+      for (auto it = survivors.rbegin(); it != survivors.rend(); ++it) {
+        p.reqs.push_front(std::move(*it));
+        ++n_pending;
+      }
+      if (!p.reqs.empty()) p.oldest = p.reqs.front()->t_submit;
+    } else {
+      execute_batch(s, sess, std::move(take), hw);
+    }
+    return true;
   };
   const auto admit = [&](std::shared_ptr<detail::RequestState> r) {
     if (r->has_deadline && steady_clock::now() >= r->deadline) {
@@ -369,12 +523,66 @@ void RequestScheduler::dispatcher_main(int s) {
       return;
     }
     Session* sess = r->session.get();
-    Pending& p = pending[sess];
+    Pending& p = pending[class_of(*r)][sess];
     if (p.reqs.empty()) p.oldest = r->t_submit;
     p.reqs.push_back(std::move(r));
     ++n_pending;
     p.highwater = std::max(p.highwater, p.reqs.size());
-    if (static_cast<int>(p.reqs.size()) >= effective_batch(sess)) flush(p);
+  };
+  const auto drain = [&] {
+    std::shared_ptr<detail::RequestState> r;
+    while (shard.queue.try_pop(r)) admit(std::move(r));
+  };
+  // Flushes ready groups in (class, earliest-request-deadline, age) order
+  // until none remain. The admission queue is re-drained after EVERY window:
+  // that is both the priority overtake point (fresh latency work preempts a
+  // formed throughput batch between regions) and the continuous-batching
+  // join point (a mid-stream decode submit enters its group before the next
+  // token window). Groups whose flush cannot progress (lane-starved) are
+  // set aside so their siblings still flush; a completion clears the set.
+  const auto flush_ready = [&] {
+    std::vector<Session*> starved;
+    const auto is_starved = [&](Session* sess) {
+      return std::find(starved.begin(), starved.end(), sess) != starved.end();
+    };
+    while (true) {
+      const auto now = steady_clock::now();
+      Pending* best = nullptr;
+      Session* best_sess = nullptr;
+      steady_clock::time_point best_ddl{};
+      steady_clock::time_point best_old{};
+      // `best == nullptr` in the class-loop condition: any ready group in a
+      // lower (more urgent) class preempts the entire next class.
+      for (int ci = 0; ci < nclasses && best == nullptr; ++ci) {
+        for (auto& entry : pending[ci]) {
+          Pending& p = entry.second;
+          if (p.reqs.empty() || is_starved(entry.first)) continue;
+          const bool ready =
+              p.reqs.front()->step > 0 ||
+              static_cast<int>(p.reqs.size()) >= effective_batch(entry.first) ||
+              now >= p.oldest + std::chrono::microseconds(cfg_.batch_usecs);
+          if (!ready) continue;
+          auto ddl = steady_clock::time_point::max();
+          for (const auto& r : p.reqs) {
+            if (r->has_deadline) ddl = std::min(ddl, r->deadline);
+          }
+          if (best == nullptr || ddl < best_ddl ||
+              (ddl == best_ddl && p.oldest < best_old)) {
+            best = &p;
+            best_sess = entry.first;
+            best_ddl = ddl;
+            best_old = p.oldest;
+          }
+        }
+      }
+      if (best == nullptr) break;
+      if (flush(*best)) {
+        starved.clear();  // a completion may have freed lanes
+        drain();
+      } else {
+        starved.push_back(best_sess);
+      }
+    }
   };
   // Idle shard: pop from siblings' queues, oldest shard first from s+1. The
   // executing partition gets the steal attributed (ISSUE 5 stats).
@@ -399,10 +607,10 @@ void RequestScheduler::dispatcher_main(int s) {
   };
 
   while (true) {
-    // Sample the backlog BEFORE draining (draining flushes full batches
-    // inline, so sampling after would cap the metric near max_batch).
-    // CAS-max: plain check-then-store would let two shards' interleaved
-    // updates regress the published high-water mark.
+    // Sample the backlog BEFORE draining/flushing (flushing empties groups,
+    // so sampling after would cap the metric near max_batch). CAS-max:
+    // plain check-then-store would let two shards' interleaved updates
+    // regress the published high-water mark.
     const std::size_t depth = shard.queue.size_approx() + n_pending;
     std::size_t seen = queue_highwater_.load(std::memory_order_relaxed);
     while (depth > seen && !queue_highwater_.compare_exchange_weak(
@@ -410,16 +618,28 @@ void RequestScheduler::dispatcher_main(int s) {
     }
 
     std::shared_ptr<detail::RequestState> r;
-    while (shard.queue.try_pop(r)) admit(std::move(r));
+    drain();
 
     if (stop_.load(std::memory_order_seq_cst)) {
-      // Draining: flush every partial batch immediately, then exit once no
-      // producer is mid-submit and the shard's queue is provably empty.
-      // Every shard drains its own queue, so stealing is unnecessary here.
-      for (auto& entry : pending) {
-        if (!entry.second.reqs.empty()) flush(entry.second);
+      // Draining: force-flush every partial batch — repeatedly, because a
+      // stepped group needs one window per remaining token step and a lane-
+      // starved group must wait for a sibling shard's completions — then
+      // exit once no producer is mid-submit, nothing is pending and the
+      // shard's queue is provably empty. Every shard drains its own queue,
+      // so stealing is unnecessary here.
+      bool progressed = true;
+      while (n_pending > 0 && progressed) {
+        progressed = false;
+        for (auto& per_class : pending) {
+          for (auto& entry : per_class) {
+            if (!entry.second.reqs.empty()) {
+              progressed = flush(entry.second) || progressed;
+            }
+          }
+        }
       }
-      if (submitters_.load(std::memory_order_seq_cst) == 0) {
+      if (submitters_.load(std::memory_order_seq_cst) == 0 &&
+          n_pending == 0) {
         if (!shard.queue.try_pop(r)) break;
         admit(std::move(r));
       } else {
@@ -427,6 +647,8 @@ void RequestScheduler::dispatcher_main(int s) {
       }
       continue;
     }
+
+    flush_ready();
 
     if (n_pending == 0) {
       if (can_steal) {
@@ -450,38 +672,47 @@ void RequestScheduler::dispatcher_main(int s) {
       continue;
     }
 
-    // Partial batches: expire requests whose own deadline passed (they leave
-    // the batch without executing), flush batches whose oldest survivor hit
-    // the batching deadline, then sleep until the next deadline — batch or
-    // per-request, whichever is sooner — or a new arrival.
+    // Partial batches: expire never-executed requests whose own deadline
+    // passed (they leave the batch without running; in-flight stepped
+    // requests are immune), then sleep until the next deadline — batch or
+    // per-request, whichever is sooner — or a new arrival. A group that is
+    // ready but still here is lane-starved; lanes free on another shard's
+    // completions, which don't wake this one, so poll on a short backoff.
     const auto now = steady_clock::now();
     steady_clock::time_point earliest = steady_clock::time_point::max();
-    for (auto& entry : pending) {
-      Pending& p = entry.second;
-      if (p.reqs.empty()) continue;
-      std::size_t w = 0;
-      for (std::size_t i = 0; i < p.reqs.size(); ++i) {
-        if (p.reqs[i]->has_deadline && now >= p.reqs[i]->deadline) {
-          complete_terminal(
-              *p.reqs[i],
-              Status::DeadlineExceeded("deadline passed while queued"));
-          --n_pending;
-        } else {
-          if (w != i) p.reqs[w] = std::move(p.reqs[i]);
-          ++w;
+    for (auto& per_class : pending) {
+      for (auto& entry : per_class) {
+        Pending& p = entry.second;
+        if (p.reqs.empty()) continue;
+        std::size_t w = 0;
+        for (std::size_t i = 0; i < p.reqs.size(); ++i) {
+          if (p.reqs[i]->step == 0 && p.reqs[i]->has_deadline &&
+              now >= p.reqs[i]->deadline) {
+            complete_terminal(
+                *p.reqs[i],
+                Status::DeadlineExceeded("deadline passed while queued"));
+            --n_pending;
+          } else {
+            if (w != i) p.reqs[w] = std::move(p.reqs[i]);
+            ++w;
+          }
         }
-      }
-      p.reqs.resize(w);
-      if (p.reqs.empty()) continue;
-      p.oldest = p.reqs.front()->t_submit;
-      const auto deadline =
-          p.oldest + std::chrono::microseconds(cfg_.batch_usecs);
-      if (deadline <= now) {
-        flush(p);
-      } else {
-        earliest = std::min(earliest, deadline);
-        for (const auto& r : p.reqs) {
-          if (r->has_deadline) earliest = std::min(earliest, r->deadline);
+        p.reqs.resize(w);
+        if (p.reqs.empty()) continue;
+        p.oldest = p.reqs.front()->t_submit;
+        const auto batch_deadline =
+            p.oldest + std::chrono::microseconds(cfg_.batch_usecs);
+        const bool ready =
+            p.reqs.front()->step > 0 ||
+            static_cast<int>(p.reqs.size()) >= effective_batch(entry.first) ||
+            batch_deadline <= now;
+        if (ready) {
+          earliest = std::min(earliest, now + std::chrono::microseconds(200));
+        } else {
+          earliest = std::min(earliest, batch_deadline);
+          for (const auto& r : p.reqs) {
+            if (r->has_deadline) earliest = std::min(earliest, r->deadline);
+          }
         }
       }
     }

@@ -1,9 +1,31 @@
 // Micro-batching request scheduler: the serving layer's core. Producer
-// threads submit (session, in, out) requests into a lock-free MPMC admission
+// threads submit typed Request values into a lock-free MPMC admission
 // queue; a dispatcher thread drains it, groups compatible requests (same
 // session => same model/shape/dtype by construction) and flushes a group as
 // one batch when it reaches PLT_SERVE_MAX_BATCH requests or its oldest
 // request has waited PLT_SERVE_BATCH_USECS microseconds.
+//
+// Priority classes. Every request carries a RequestClass (kLatency |
+// kThroughput; kSessionDefault resolves to the session's default at submit).
+// Each shard keeps one pending map PER CLASS and flushes ready groups in
+// (class, earliest-request-deadline, age) order: a ready latency batch
+// always flushes before a ready throughput batch, and the queue is
+// re-drained between flushes, so a throughput batch that has formed but not
+// yet flushed can be overtaken by newly arrived latency work. Preemption is
+// only ever BETWEEN regions — a running batch always completes — so the
+// worst-case latency-class delay is one in-flight region, and the bitwise
+// determinism invariant is untouched. PLT_SERVE_PRIORITY=0 restores strict
+// class-blind FIFO grouping.
+//
+// Continuous batching. A steppable session (the LLM family) executes as
+// step_count() resumable regions instead of one monolithic run(): step 0
+// prefills into the request's exclusively-held lane, every later step
+// decodes PLT_SERVE_DECODE_STEP_TOKENS tokens against that lane's live KV
+// cache. After every step the dispatcher re-admits unfinished requests to
+// the FRONT of their session's pending group and re-drains the admission
+// queue — so a request submitted mid-stream joins the running decode batch
+// at the next token boundary instead of waiting gen_tokens steps behind it.
+// The step sequence on one lane is bitwise-identical to a monolithic run.
 //
 // Sharding. The scheduler is partitioned like the pool it dispatches onto:
 // one admission queue + one dispatcher thread per shard (auto = one per pool
@@ -37,6 +59,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -84,13 +107,40 @@ struct SchedulerConfig {
   // never affected either way.
   bool quarantine = true;
 
+  // PLT_SERVE_PRIORITY: class-aware flush ordering (default on). Off, every
+  // request lands in one class-blind pending map and the dispatcher reduces
+  // to the strict-FIFO grouping of the pre-priority scheduler.
+  bool priority = true;
+
+  // PLT_SERVE_DECODE_STEP_TOKENS: decode granularity for steppable sessions
+  // — generated tokens per resumable step (continuous batching). 0 disables
+  // stepping: every session executes as one monolithic run(), the
+  // pre-continuous-batching behaviour. Has no effect on non-steppable
+  // sessions, which always run monolithically.
+  int decode_step_tokens = 1;
+
   // Reads the PLT_SERVE_* environment knobs (range-validated; bad values
   // warn and fall back to the defaults above).
   static SchedulerConfig from_env();
 };
 
-// Per-request submit options. deadline_usecs: -1 = use the config default,
-// 0 = no deadline, > 0 = relative deadline in microseconds from submit.
+// One inference request, the primary submit() currency. `in`/`out` must stay
+// valid until the handle reports done. cls: kSessionDefault resolves to
+// Session::default_class() at submit time. deadline_usecs: -1 = use the
+// config default, 0 = no deadline, > 0 = relative deadline in microseconds
+// from submit (expired-while-queued requests complete kDeadlineExceeded
+// without executing; a stepped request that already ran its first step is
+// past the point of no return and always runs to completion).
+struct Request {
+  const float* in = nullptr;
+  float* out = nullptr;
+  RequestClass cls = RequestClass::kSessionDefault;
+  std::int64_t deadline_usecs = -1;
+};
+
+// Legacy per-request submit options, kept so pre-redesign call sites compile
+// unchanged; the (session, in, out, SubmitOptions) overload forwards to
+// submit(session, Request). New code should pass a Request directly.
 struct SubmitOptions {
   std::int64_t deadline_usecs = -1;
 };
@@ -105,8 +155,10 @@ struct ModelStats {
   std::uint64_t expired = 0;   // deadline passed while queued (kDeadlineExceeded)
   std::uint64_t shed = 0;      // admission shed (kResourceExhausted)
   std::uint64_t rejected = 0;  // refused at submit (kUnavailable)
-  std::uint64_t batches = 0;
-  std::uint64_t batched_requests_sum = 0;  // sum of batch sizes
+  std::uint64_t batches = 0;               // monolithic regions
+  std::uint64_t batched_requests_sum = 0;  // sum of monolithic batch sizes
+  std::uint64_t decode_steps = 0;          // stepped regions (token windows)
+  std::uint64_t decode_step_requests_sum = 0;  // sum of stepped occupancies
   double sum_latency_us = 0.0;             // submit -> completion
   double max_latency_us = 0.0;
   double sum_exec_us = 0.0;                // batch execution wall time
@@ -119,6 +171,13 @@ struct ModelStats {
     return batches ? static_cast<double>(batched_requests_sum) /
                          static_cast<double>(batches)
                    : 0.0;
+  }
+  // Mean concurrent requests per stepped decode region — the continuous-
+  // batching win shows up here as occupancy > 1 under mixed arrival times.
+  double mean_decode_occupancy() const {
+    return decode_steps ? static_cast<double>(decode_step_requests_sum) /
+                              static_cast<double>(decode_steps)
+                        : 0.0;
   }
 };
 
@@ -134,6 +193,14 @@ struct RequestState {
   std::chrono::steady_clock::time_point deadline;  // valid iff has_deadline
   bool has_deadline = false;
   bool admitted = false;     // false: refused/shed at submit (ok() is false)
+  RequestClass cls = RequestClass::kThroughput;  // resolved at submit
+  // Continuous batching (dispatcher-owned, only ever touched by the shard
+  // that holds the request): completed steps, total steps at the scheduler's
+  // decode granularity (1 = monolithic), and the exclusively-held session
+  // lane for steps_total > 1 (-1 until acquired before step 0).
+  int step = 0;
+  int steps_total = 1;
+  int lane = -1;
   Status status;             // terminal status; written before done's release
   double latency_us = 0.0;   // written by the dispatcher before done
   std::atomic<bool> done{false};
@@ -156,11 +223,23 @@ class RequestHandle {
   }
   // Blocks until the request completes (returns immediately if !ok()).
   void wait() const;
-  // Terminal status; meaningful once done() (OK before then only if the
-  // request genuinely completed). A default-constructed handle reports
-  // kUnavailable.
+  // Terminal-only contract: the returned Status is the request's resolution
+  // and is meaningful exactly once done() is true. Before that, status()
+  // reports the distinct non-terminal kInFlight (never OK — a pre-redesign
+  // wart let an unresolved handle read as success). A default-constructed
+  // handle reports kUnavailable.
   Status status() const {
-    return st_ ? st_->status : Status::Unavailable("empty request handle");
+    if (st_ == nullptr) return Status::Unavailable("empty request handle");
+    if (!st_->done.load(std::memory_order_acquire)) {
+      return Status(StatusCode::kInFlight, "request in flight");
+    }
+    return st_->status;
+  }
+  // Resolved priority class (the session default already applied); valid
+  // from the moment submit() returns. kSessionDefault only for an empty
+  // handle.
+  RequestClass request_class() const {
+    return st_ ? st_->cls : RequestClass::kSessionDefault;
   }
   // submit -> completion, microseconds; valid once done().
   double latency_us() const { return st_ ? st_->latency_us : 0.0; }
@@ -180,17 +259,29 @@ class RequestScheduler {
   RequestScheduler(const RequestScheduler&) = delete;
   RequestScheduler& operator=(const RequestScheduler&) = delete;
 
-  // Enqueues one inference request. `in` and `out` must stay valid until the
-  // handle reports done. Returns a !ok() handle (with the refusal in
-  // status()) after shutdown() has begun, when the session is quarantined,
-  // or when the request was shed at admission. On a full queue: blocks
-  // (spin + yield) until space frees, unless the request's deadline passes
-  // or cfg.submit_timeout_usecs elapses — then it is shed
-  // kResourceExhausted (newest-over-deadline work goes first under
+  // Enqueues one inference request (the primary entry point). req.in/out
+  // must stay valid until the handle reports done. Returns a !ok() handle
+  // (with the refusal in status()) after shutdown() has begun, when the
+  // session is quarantined, or when the request was shed at admission. On a
+  // full queue: blocks (spin + yield) until space frees, unless the
+  // request's deadline passes or cfg.submit_timeout_usecs elapses — then it
+  // is shed kResourceExhausted (newest-over-deadline work goes first under
   // saturation; queued requests are never dropped).
   RequestHandle submit(const std::shared_ptr<Session>& session,
+                       const Request& req);
+
+  // Legacy shim over submit(session, Request) — pre-redesign call sites
+  // (positional buffers + SubmitOptions) compile unchanged and inherit the
+  // session's default class.
+  RequestHandle submit(const std::shared_ptr<Session>& session,
                        const float* in, float* out,
-                       const SubmitOptions& opts = SubmitOptions());
+                       const SubmitOptions& opts = SubmitOptions()) {
+    Request req;
+    req.in = in;
+    req.out = out;
+    req.deadline_usecs = opts.deadline_usecs;
+    return submit(session, req);
+  }
 
   // Stops admission, drains every accepted request (in-flight work
   // completes), then joins every dispatcher. Idempotent.
@@ -226,8 +317,12 @@ class RequestScheduler {
   }
 
  private:
+  // One same-session micro-batch group. A deque because continuous batching
+  // re-admits unfinished stepped requests at the FRONT (they own lanes and
+  // must keep their batch slots at the next token boundary) while new
+  // arrivals append at the back.
   struct Pending {
-    std::vector<std::shared_ptr<detail::RequestState>> reqs;
+    std::deque<std::shared_ptr<detail::RequestState>> reqs;
     std::chrono::steady_clock::time_point oldest;
     std::size_t highwater = 0;
   };
@@ -257,6 +352,14 @@ class RequestScheduler {
   void execute_batch(int s, Session* session,
                      std::vector<std::shared_ptr<detail::RequestState>> reqs,
                      std::size_t pending_highwater);
+  // Runs ONE resumable step for every request in `reqs` as one region (each
+  // on its own sticky lane), resolves the ones that finished or failed, and
+  // returns the unfinished survivors in order — the dispatcher re-admits
+  // them to the front of their pending group.
+  std::vector<std::shared_ptr<detail::RequestState>> execute_steps(
+      int s, Session* session,
+      std::vector<std::shared_ptr<detail::RequestState>> reqs,
+      std::size_t pending_highwater);
   void wake_shard(Shard& shard);
   int shard_of(Session* session);
   // Resolves a never-executed request: sets its terminal status + latency,

@@ -81,6 +81,38 @@ std::string Session::health_reason() const {
   return health_reason_;
 }
 
+void Session::set_default_class(RequestClass cls) {
+  PLT_CHECK(cls != RequestClass::kSessionDefault,
+            "serving: a session default class must be latency or throughput");
+  default_class_.store(static_cast<int>(cls), std::memory_order_release);
+}
+
+void Session::run_step(int lane, const float* in, float* out, int step,
+                       int tokens_per_step) {
+  (void)tokens_per_step;
+  PLT_CHECK(step == 0, "serving: session is not steppable (single step)");
+  run(lane, in, out);
+}
+
+int Session::acquire_lane() {
+  std::lock_guard<std::mutex> g(lane_mu_);
+  if (lane_busy_.empty()) lane_busy_.assign(static_cast<std::size_t>(lanes_), 0);
+  for (std::size_t l = 0; l < lane_busy_.size(); ++l) {
+    if (!lane_busy_[l]) {
+      lane_busy_[l] = 1;
+      return static_cast<int>(l);
+    }
+  }
+  return -1;
+}
+
+void Session::release_lane(int lane) {
+  std::lock_guard<std::mutex> g(lane_mu_);
+  if (lane >= 0 && static_cast<std::size_t>(lane) < lane_busy_.size()) {
+    lane_busy_[static_cast<std::size_t>(lane)] = 0;
+  }
+}
+
 void Session::pin_partition(int p, bool first_touch) {
   if (p < 0) return;
   // Normalize against the real partition count: run_on() would wrap an
@@ -273,10 +305,51 @@ class LlmSession final : public Session {
     warmup();
   }
 
+  // Monolithic run() is literally the stepped pipeline executed in one call:
+  // prefill, then every decode token. Stepped execution (run_step) replays
+  // the exact same per-lane operation sequence split at token boundaries, so
+  // "stepped == monolithic" holds bitwise by construction — the scheduler
+  // tests assert it end to end anyway.
   void run(int lane_id, const float* in, float* out) override {
     Lane& lane = lanes_[static_cast<std::size_t>(lane_id)];
-    const std::int64_t H = cfg_.hidden;
+    prefill_lane(lane, in);
+    decode_range(lane, 0, gen_tokens_, out);
+  }
 
+  bool steppable() const override { return true; }
+
+  int step_count(int tokens_per_step) const override {
+    if (tokens_per_step <= 0) return 1;  // monolithic decode
+    const std::int64_t tps = tokens_per_step;
+    return static_cast<int>((gen_tokens_ + tps - 1) / tps);
+  }
+
+  void run_step(int lane_id, const float* in, float* out, int step,
+                int tokens_per_step) override {
+    if (tokens_per_step <= 0) {
+      run(lane_id, in, out);
+      return;
+    }
+    Lane& lane = lanes_[static_cast<std::size_t>(lane_id)];
+    if (step == 0) prefill_lane(lane, in);
+    const std::int64_t begin =
+        static_cast<std::int64_t>(step) * tokens_per_step;
+    const std::int64_t end =
+        std::min<std::int64_t>(gen_tokens_, begin + tokens_per_step);
+    decode_range(lane, begin, end, out);
+  }
+
+ private:
+  struct Lane {
+    std::vector<std::unique_ptr<dl::DecoderLayer>> layers;
+    std::vector<float> ping, pong, tok, tok_out;
+  };
+
+  // Prefill every layer over the prompt and seed the first decode token from
+  // the last prompt position, exactly as LlmModel::generate does. Leaves the
+  // decode state (KV caches + lane.tok) ready for token 0.
+  void prefill_lane(Lane& lane, const float* in) {
+    const std::int64_t H = cfg_.hidden;
     const float* src = in;
     float* a = lane.ping.data();
     float* b = lane.pong.data();
@@ -285,14 +358,19 @@ class LlmSession final : public Session {
       src = a;
       std::swap(a, b);
     }
-
-    // Seed the first decode step from the last prompt position, exactly as
-    // LlmModel::generate does.
     const float* last = src + (prompt_len_ - 1) * H;
     for (std::int64_t d = 0; d < H; ++d) {
       lane.tok[static_cast<std::size_t>(d)] = last[d] * 0.5f;
     }
-    for (std::int64_t g = 0; g < gen_tokens_; ++g) {
+  }
+
+  // Decodes tokens [begin, end) against the lane's live KV cache, writing
+  // row g of `out` for each. The lane carries the autoregressive state
+  // between calls, so consecutive ranges compose into one full decode.
+  void decode_range(Lane& lane, std::int64_t begin, std::int64_t end,
+                    float* out) {
+    const std::int64_t H = cfg_.hidden;
+    for (std::int64_t g = begin; g < end; ++g) {
       const std::int64_t pos = prompt_len_ + g;
       for (auto& layer : lane.layers) {
         layer->decode_one(lane.tok.data(), pos, lane.tok_out.data());
@@ -304,7 +382,6 @@ class LlmSession final : public Session {
     }
   }
 
- private:
   static double llm_flops(const dl::LlmConfig& cfg, std::int64_t prompt,
                           std::int64_t gen) {
     const double h = static_cast<double>(cfg.hidden);
@@ -315,10 +392,6 @@ class LlmSession final : public Session {
     return per_layer * static_cast<double>(cfg.layers);
   }
 
-  struct Lane {
-    std::vector<std::unique_ptr<dl::DecoderLayer>> layers;
-    std::vector<float> ping, pong, tok, tok_out;
-  };
   dl::LlmConfig cfg_;
   std::int64_t prompt_len_;
   std::int64_t gen_tokens_;
@@ -375,8 +448,12 @@ std::shared_ptr<Session> make_llm_session(const std::string& name,
                                           std::int64_t prompt_len,
                                           std::int64_t gen_tokens, int lanes,
                                           std::uint64_t seed) {
-  return std::make_shared<LlmSession>(name, cfg, prompt_len, gen_tokens, lanes,
-                                      seed);
+  auto s = std::make_shared<LlmSession>(name, cfg, prompt_len, gen_tokens,
+                                        lanes, seed);
+  // Decode traffic is the tail-latency-critical class by default; submitters
+  // can still override per request (Request::cls) or per session.
+  s->set_default_class(RequestClass::kLatency);
+  return s;
 }
 
 std::shared_ptr<Session> make_resnet_session(const std::string& name,

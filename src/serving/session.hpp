@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "dl/bert.hpp"
 #include "dl/llm.hpp"
@@ -30,6 +31,26 @@
 #include "dl/sparse_fc.hpp"
 
 namespace plt::serving {
+
+// Priority class carried by every request (serving/scheduler.hpp Request).
+// On a shard, a ready kLatency batch always flushes before a ready
+// kThroughput batch — a formed-but-unflushed throughput batch can be
+// overtaken between regions (never mid-region, so determinism is untouched).
+// kSessionDefault resolves to Session::default_class() at submit time.
+enum class RequestClass : int {
+  kLatency = 0,
+  kThroughput = 1,
+  kSessionDefault = 2,
+};
+
+inline const char* request_class_name(RequestClass c) {
+  switch (c) {
+    case RequestClass::kLatency: return "latency";
+    case RequestClass::kThroughput: return "throughput";
+    case RequestClass::kSessionDefault: return "session-default";
+  }
+  return "?";
+}
 
 class Session {
  public:
@@ -78,11 +99,50 @@ class Session {
   void mark_healthy();
   std::string health_reason() const;
 
+  // Default priority class for requests submitted kSessionDefault. LLM
+  // sessions default kLatency (decode tail latency is the product metric);
+  // every other model family defaults kThroughput.
+  RequestClass default_class() const {
+    return static_cast<RequestClass>(
+        default_class_.load(std::memory_order_acquire));
+  }
+  void set_default_class(RequestClass cls);
+
   // Runs one request on the given lane. Distinct lanes are safe to run
   // concurrently; the same lane must not be entered twice at once. Called
   // by the scheduler from inside a pool region (nested nests degrade to a
   // serial walk) and by clients directly for sequential reference runs.
   virtual void run(int lane, const float* in, float* out) = 0;
+
+  // --- continuous batching (stepped execution) ------------------------------
+  //
+  // A steppable session splits run() into step_count(tokens_per_step)
+  // resumable calls: for the LLM family, step 0 prefills the prompt into the
+  // lane's KV cache and decodes the first `tokens_per_step` tokens; every
+  // later step decodes the next `tokens_per_step` tokens against the SAME
+  // lane's live cache. The lane is therefore the request's decode state: a
+  // stepped request holds one lane exclusively (acquire_lane/release_lane)
+  // across all of its steps, and the step sequence on one lane is bitwise-
+  // identical to one monolithic run() — the dispatcher only interleaves
+  // *other requests' lanes* between token boundaries.
+  virtual bool steppable() const { return false; }
+  // Number of resumable steps for the given granularity; 1 = monolithic
+  // (tokens_per_step <= 0 always means "execute as one run()").
+  virtual int step_count(int tokens_per_step) const {
+    (void)tokens_per_step;
+    return 1;
+  }
+  // Runs step `step` (0-based, < step_count(tokens_per_step)) of one request
+  // on the request's sticky lane. The default forwards step 0 to run().
+  virtual void run_step(int lane, const float* in, float* out, int step,
+                        int tokens_per_step);
+
+  // Lane ownership for stepped requests. acquire_lane returns an exclusive
+  // lane index (-1 when every lane is held by an in-flight request — the
+  // caller retries after a completion frees one); release_lane returns it.
+  // Thread-safe: dispatchers on distinct shards acquire concurrently.
+  int acquire_lane();
+  void release_lane(int lane);
 
  protected:
   Session(std::string name, int lanes, std::int64_t input_elems,
@@ -111,6 +171,9 @@ class Session {
   std::atomic<bool> healthy_{true};
   mutable std::mutex health_mu_;  // guards health_reason_
   std::string health_reason_;
+  std::atomic<int> default_class_{static_cast<int>(RequestClass::kThroughput)};
+  std::mutex lane_mu_;           // guards lane_busy_
+  std::vector<char> lane_busy_;  // sized lazily to lanes() on first acquire
 };
 
 // Stack of `layers` fully-connected layers, all `features` wide, over
@@ -143,7 +206,10 @@ std::shared_ptr<Session> make_sparse_fc_session(const std::string& name,
 // decode `gen_tokens` steps (each step feeds back the previous output, as in
 // LlmModel::generate). in: [prompt_len][hidden]; out: [gen_tokens][hidden]
 // (the decoded embeddings). Per-lane KV caches are fully overwritten by each
-// request, so sessions are stateless across requests.
+// request, so sessions are stateless across requests. The session is
+// steppable (continuous batching: one prefill step, then one decode region
+// per PLT_SERVE_DECODE_STEP_TOKENS generated tokens) and defaults its
+// requests to RequestClass::kLatency.
 std::shared_ptr<Session> make_llm_session(const std::string& name,
                                           dl::LlmConfig cfg,
                                           std::int64_t prompt_len,

@@ -1098,5 +1098,445 @@ TEST(SchedulerChaos, QuarantineIsolatesFaultedSessionAndRecovers) {
             c.submitted);
 }
 
+// --- typed submit API + handle contract ---------------------------------------
+
+TEST(TypedSubmit, RequestAndLegacyShimAgree) {
+  auto mlp = make_mlp_session("mlp_typed", tiny_mlp(), /*lanes=*/2, 21);
+  SchedulerConfig cfg;
+  cfg.shards = 1;
+  RequestScheduler sched(cfg);
+
+  const auto in = make_input(*mlp, 5);
+  std::vector<float> out_new(static_cast<std::size_t>(mlp->output_elems()));
+  std::vector<float> out_old(out_new.size());
+
+  Request req;
+  req.in = in.data();
+  req.out = out_new.data();
+  auto h_new = sched.submit(mlp, req);
+  auto h_old = sched.submit(mlp, in.data(), out_old.data());
+  h_new.wait();
+  h_old.wait();
+  ASSERT_TRUE(h_new.status().ok());
+  ASSERT_TRUE(h_old.status().ok());
+  EXPECT_EQ(0, std::memcmp(out_new.data(), out_old.data(),
+                           out_new.size() * sizeof(float)));
+  // Both went through the same class resolution: the MLP session default.
+  EXPECT_EQ(h_new.request_class(), RequestClass::kThroughput);
+  EXPECT_EQ(h_old.request_class(), RequestClass::kThroughput);
+}
+
+TEST(TypedSubmit, ClassResolvesFromSessionDefaultAndPerRequestOverride) {
+  auto mlp = make_mlp_session("mlp_cls", tiny_mlp(), /*lanes=*/1, 22);
+  auto llm = make_llm_session("llm_cls", tiny_llm(), /*prompt_len=*/4,
+                              /*gen_tokens=*/2, /*lanes=*/1, 23);
+  EXPECT_EQ(mlp->default_class(), RequestClass::kThroughput);
+  EXPECT_EQ(llm->default_class(), RequestClass::kLatency);  // factory default
+
+  ModelRegistry reg;
+  reg.add(mlp);
+  EXPECT_TRUE(reg.set_default_class("mlp_cls", RequestClass::kLatency).ok());
+  EXPECT_EQ(mlp->default_class(), RequestClass::kLatency);
+  EXPECT_EQ(reg.set_default_class("nope", RequestClass::kLatency).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      reg.set_default_class("mlp_cls", RequestClass::kSessionDefault).code(),
+      StatusCode::kInvalidArgument);
+
+  SchedulerConfig cfg;
+  cfg.shards = 1;
+  RequestScheduler sched(cfg);
+  const auto in = make_input(*mlp, 6);
+  std::vector<float> out(static_cast<std::size_t>(mlp->output_elems()));
+  auto h_def = sched.submit(mlp, Request{in.data(), out.data()});
+  EXPECT_EQ(h_def.request_class(), RequestClass::kLatency);
+  Request req;
+  req.in = in.data();
+  req.out = out.data();
+  req.cls = RequestClass::kThroughput;  // explicit beats the session default
+  auto h_ovr = sched.submit(mlp, req);
+  EXPECT_EQ(h_ovr.request_class(), RequestClass::kThroughput);
+  h_def.wait();
+  h_ovr.wait();
+}
+
+TEST(TypedSubmit, HandleReportsInFlightBeforeTerminal) {
+  auto blocker = std::make_shared<BlockingSession>("blocking_inflight");
+  SchedulerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_usecs = 0;
+  cfg.shards = 1;
+  RequestScheduler sched(cfg);
+
+  const float in[4] = {1, 2, 3, 4};
+  float out[4] = {0};
+  auto h = sched.submit(blocker, Request{in, out});
+  ASSERT_TRUE(h.ok());
+  blocker->await_entered();
+  // Mid-execution: the handle is not done and must NOT read as OK (the
+  // pre-redesign wart) — it reports the distinct non-terminal kInFlight.
+  EXPECT_FALSE(h.done());
+  EXPECT_EQ(h.status().code(), StatusCode::kInFlight);
+  EXPECT_FALSE(h.status().ok());
+  blocker->release();
+  h.wait();
+  EXPECT_TRUE(h.status().ok());  // terminal now
+  EXPECT_EQ(RequestHandle().status().code(), StatusCode::kUnavailable);
+}
+
+// --- priority classes ---------------------------------------------------------
+
+// Appends its session name to a shared order log on every run: lets tests
+// assert cross-session flush ordering.
+class OrderSession final : public Session {
+ public:
+  OrderSession(const std::string& name, int lanes, std::mutex* mu,
+               std::vector<std::string>* order)
+      : Session(name, lanes, 4, 4, 1.0), mu_(mu), order_(order) {}
+
+  void run(int, const float* in, float* out) override {
+    {
+      std::lock_guard<std::mutex> g(*mu_);
+      order_->push_back(name());
+    }
+    for (int i = 0; i < 4; ++i) out[i] = in[i];
+  }
+
+ private:
+  std::mutex* mu_;
+  std::vector<std::string>* order_;
+};
+
+// A ready latency batch must overtake a throughput batch that formed earlier
+// but has not flushed yet — and a blocked in-flight region is the worst the
+// latency class ever waits for. The blocker parks the dispatcher mid-region
+// while both classes stack up behind it; on release, the latency request
+// must execute before every throughput request despite arriving last.
+TEST(SchedulerPriority, ReadyLatencyOvertakesFormedThroughputBatch) {
+  for (const bool priority : {true, false}) {
+    auto blocker = std::make_shared<BlockingSession>(
+        priority ? "blk_pri_on" : "blk_pri_off");
+    std::mutex mu;
+    std::vector<std::string> order;
+    auto thr = std::make_shared<OrderSession>("thr", 4, &mu, &order);
+    auto lat = std::make_shared<OrderSession>("lat", 4, &mu, &order);
+    lat->set_default_class(RequestClass::kLatency);
+
+    SchedulerConfig cfg;
+    cfg.max_batch = 4;
+    cfg.batch_usecs = 0;
+    cfg.shards = 1;
+    cfg.priority = priority;
+    RequestScheduler sched(cfg);
+
+    const float in[4] = {1, 1, 1, 1};
+    float bout[4], touts[4][4], lout[4];
+    auto hb = sched.submit(blocker, Request{in, bout});
+    blocker->await_entered();  // dispatcher is pinned inside a region
+    std::vector<RequestHandle> hs;
+    for (auto& tout : touts) {
+      hs.push_back(sched.submit(thr, Request{in, tout}));
+    }
+    hs.push_back(sched.submit(lat, Request{in, lout}));  // arrives LAST
+    blocker->release();
+    for (auto& h : hs) h.wait();
+    hb.wait();
+
+    std::lock_guard<std::mutex> g(mu);
+    ASSERT_EQ(order.size(), 5u);
+    if (priority) {
+      // Latency first, past one in-flight region, despite 4 queued
+      // throughput requests ahead of it.
+      EXPECT_EQ(order.front(), "lat");
+    } else {
+      // Class-blind FIFO control: the older throughput group flushes first.
+      EXPECT_EQ(order.back(), "lat");
+    }
+  }
+}
+
+// --- continuous batching ------------------------------------------------------
+
+// Steppable scripted session: `steps` resumable steps per request, each
+// logging (request id = in[0], step, lane). A gate can block inside one
+// chosen (id, step) so tests can submit mid-stream deterministically.
+class StepSession final : public Session {
+ public:
+  StepSession(const std::string& name, int lanes, int steps)
+      : Session(name, lanes, 1, 1, 1.0), steps_(steps) {}
+
+  struct Entry {
+    int id, step, lane;
+  };
+
+  bool steppable() const override { return true; }
+  int step_count(int tokens_per_step) const override {
+    return tokens_per_step <= 0 ? 1 : steps_;
+  }
+
+  void run(int, const float* in, float* out) override {
+    out[0] = in[0] + static_cast<float>(steps_);
+  }
+
+  void run_step(int lane, const float* in, float* out, int step,
+                int tokens_per_step) override {
+    if (tokens_per_step <= 0) {
+      run(lane, in, out);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      log_.push_back({static_cast<int>(in[0]), step, lane});
+    }
+    if (static_cast<int>(in[0]) == gate_id_.load() &&
+        step == gate_step_.load()) {
+      entered_gate.store(true, std::memory_order_release);
+      std::unique_lock<std::mutex> lk(gate_mu_);
+      gate_cv_.wait(lk, [&] { return gate_open_; });
+    }
+    if (step + 1 == steps_) out[0] = in[0] + static_cast<float>(steps_);
+  }
+
+  void arm_gate(int id, int step) {
+    gate_id_.store(id);
+    gate_step_.store(step);
+  }
+  void open_gate() {
+    {
+      std::lock_guard<std::mutex> g(gate_mu_);
+      gate_open_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+  void await_gate() {
+    while (!entered_gate.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  std::vector<Entry> log() {
+    std::lock_guard<std::mutex> g(mu_);
+    return log_;
+  }
+
+  std::atomic<bool> entered_gate{false};
+
+ private:
+  int steps_;
+  std::mutex mu_;
+  std::vector<Entry> log_;
+  std::atomic<int> gate_id_{-1};
+  std::atomic<int> gate_step_{-1};
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  bool gate_open_ = false;
+};
+
+// A request submitted while another is mid-decode joins the running batch at
+// the NEXT token boundary — not after the stream finishes — and every
+// request keeps one sticky lane across all of its steps.
+TEST(SchedulerDecode, MidStreamSubmitJoinsAtTokenBoundary) {
+  constexpr int kSteps = 4;
+  auto sess = std::make_shared<StepSession>("step_join", /*lanes=*/2, kSteps);
+  SchedulerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.batch_usecs = 0;
+  cfg.shards = 1;
+  cfg.decode_step_tokens = 1;
+  RequestScheduler sched(cfg);
+
+  const float in_a[1] = {1.0f}, in_b[1] = {2.0f};
+  float out_a[1] = {0}, out_b[1] = {0};
+  sess->arm_gate(/*id=*/1, /*step=*/0);  // hold A inside its first step
+  auto ha = sched.submit(sess, Request{in_a, out_a});
+  sess->await_gate();
+  auto hb = sched.submit(sess, Request{in_b, out_b});  // arrives mid-stream
+  sess->open_gate();
+  ha.wait();
+  hb.wait();
+  ASSERT_TRUE(ha.status().ok());
+  ASSERT_TRUE(hb.status().ok());
+  EXPECT_EQ(out_a[0], 1.0f + kSteps);
+  EXPECT_EQ(out_b[0], 2.0f + kSteps);
+
+  const auto log = sess->log();
+  ASSERT_EQ(log.size(), 2u * kSteps);
+  int lane_a = -1, lane_b = -1;
+  std::size_t b_first = log.size(), a_last = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& e = log[i];
+    if (e.id == 1) {
+      if (lane_a < 0) lane_a = e.lane;
+      EXPECT_EQ(e.lane, lane_a) << "A hopped lanes mid-stream";
+      if (e.step == kSteps - 1) a_last = i;
+    } else {
+      if (lane_b < 0) lane_b = e.lane;
+      EXPECT_EQ(e.lane, lane_b) << "B hopped lanes mid-stream";
+      if (e.step == 0) b_first = i;
+    }
+  }
+  EXPECT_NE(lane_a, lane_b);  // exclusive lane ownership
+  // The join: B's first step ran BEFORE A's last step — B did not wait for
+  // A's stream to finish.
+  EXPECT_LT(b_first, a_last);
+}
+
+// Stepped decode must be bitwise-identical to a monolithic run() — across
+// decode granularities and shard counts (the ctest matrix adds runtimes).
+TEST(SchedulerDecode, SteppedMatchesMonolithicBitwise) {
+  auto llm = make_llm_session("llm_stepwise", tiny_llm(), /*prompt_len=*/4,
+                              /*gen_tokens=*/5, /*lanes=*/2, 31);
+  constexpr int kReqs = 6;
+  std::vector<std::vector<float>> ins, want;
+  for (int i = 0; i < kReqs; ++i) {
+    ins.push_back(make_input(*llm, 400 + static_cast<std::uint64_t>(i)));
+    want.emplace_back(static_cast<std::size_t>(llm->output_elems()));
+    llm->run(0, ins.back().data(), want.back().data());  // monolithic ref
+  }
+  for (const int tps : {1, 3, 0}) {
+    for (const int shards : {1, 2}) {
+      SchedulerConfig cfg;
+      cfg.max_batch = 2;
+      cfg.batch_usecs = 100;
+      cfg.shards = shards;
+      cfg.decode_step_tokens = tps;
+      RequestScheduler sched(cfg);
+      std::vector<std::vector<float>> outs(
+          kReqs,
+          std::vector<float>(static_cast<std::size_t>(llm->output_elems())));
+      std::vector<RequestHandle> hs;
+      for (int i = 0; i < kReqs; ++i) {
+        hs.push_back(sched.submit(
+            llm, Request{ins[static_cast<std::size_t>(i)].data(),
+                         outs[static_cast<std::size_t>(i)].data()}));
+      }
+      for (auto& h : hs) h.wait();
+      for (int i = 0; i < kReqs; ++i) {
+        ASSERT_TRUE(hs[static_cast<std::size_t>(i)].status().ok());
+        EXPECT_EQ(0,
+                  std::memcmp(want[static_cast<std::size_t>(i)].data(),
+                              outs[static_cast<std::size_t>(i)].data(),
+                              want[static_cast<std::size_t>(i)].size() *
+                                  sizeof(float)))
+            << "tps=" << tps << " shards=" << shards << " req=" << i;
+      }
+      sched.shutdown();
+      const auto stats = sched.stats();
+      ASSERT_EQ(stats.size(), 1u);
+      if (tps > 0) {
+        EXPECT_GT(stats[0].decode_steps, 0u);  // stepped path actually ran
+      } else {
+        EXPECT_EQ(stats[0].decode_steps, 0u);  // 0 = monolithic, by contract
+        EXPECT_GT(stats[0].batches, 0u);
+      }
+    }
+  }
+}
+
+// Chaos with stepped requests in flight: exact terminal accounting and
+// bitwise-correct OK outputs must survive faults that fire mid-decode.
+TEST(SchedulerChaos, SteppedRequestsKeepExactAccountingUnderFaults) {
+  fault::reset();
+  auto llm = make_llm_session("llm_chaos_step", tiny_llm(), /*prompt_len=*/4,
+                              /*gen_tokens=*/4, /*lanes=*/4, 317);
+  auto mlp = make_mlp_session("mlp_chaos_step", tiny_mlp(), /*lanes=*/4, 318);
+  llm->pin_partition(0);
+  mlp->pin_partition(1);
+  std::vector<std::shared_ptr<Session>> sessions = {llm, mlp};
+  constexpr int kPerModel = 120;
+  constexpr int kInputs = 4;
+
+  std::vector<std::vector<std::vector<float>>> ins(sessions.size());
+  std::vector<std::vector<std::vector<float>>> want(sessions.size());
+  for (std::size_t m = 0; m < sessions.size(); ++m) {
+    for (int i = 0; i < kInputs; ++i) {
+      ins[m].push_back(
+          make_input(*sessions[m], 700 + static_cast<std::uint64_t>(i)));
+      want[m].emplace_back(
+          static_cast<std::size_t>(sessions[m]->output_elems()));
+      sessions[m]->run(0, ins[m].back().data(), want[m].back().data());
+    }
+  }
+
+  fault::configure("kernel_exec:throw:0.02", 11);
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_usecs = 200;
+  cfg.shards = 2;
+  cfg.decode_step_tokens = 1;  // llm requests run stepped
+  cfg.quarantine = false;
+  {
+    RequestScheduler sched(cfg);
+    std::vector<RequestHandle> handles;
+    std::vector<std::vector<float>> outs;
+    std::vector<std::pair<std::size_t, int>> tags;
+    for (int i = 0; i < kPerModel; ++i) {
+      for (std::size_t m = 0; m < sessions.size(); ++m) {
+        outs.emplace_back(
+            static_cast<std::size_t>(sessions[m]->output_elems()));
+        tags.emplace_back(m, i % kInputs);
+        handles.push_back(
+            sched.submit(sessions[m],
+                         Request{ins[m][tags.back().second].data(),
+                                 outs.back().data()}));
+      }
+    }
+    std::uint64_t ok = 0, failed = 0;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      handles[i].wait();
+      ASSERT_TRUE(handles[i].done());
+      const Status st = handles[i].status();
+      if (st.ok()) {
+        ++ok;
+        const auto [m, k] = tags[i];
+        ASSERT_EQ(0, std::memcmp(want[m][static_cast<std::size_t>(k)].data(),
+                                 outs[i].data(),
+                                 outs[i].size() * sizeof(float)))
+            << sessions[m]->name() << " request " << i;
+      } else {
+        ++failed;
+        EXPECT_EQ(st.code(), StatusCode::kInternal) << st.to_string();
+      }
+    }
+    fault::reset();
+    sched.shutdown();
+    const auto c = sched.counters();
+    EXPECT_EQ(c.submitted, handles.size());
+    EXPECT_EQ(c.completed, ok);
+    EXPECT_EQ(c.failed, failed);
+    EXPECT_EQ(c.completed + c.failed + c.expired + c.shed + c.rejected,
+              c.submitted);
+    // The llm session must actually have taken the stepped path.
+    for (const auto& st : sched.stats()) {
+      if (st.model == "llm_chaos_step") EXPECT_GT(st.decode_steps, 0u);
+    }
+  }
+  fault::reset();
+}
+
+// --- config knobs -------------------------------------------------------------
+
+TEST(SchedulerConfigEnv, PriorityAndDecodeKnobsValidateWithFallback) {
+  const SchedulerConfig def;
+  ::setenv("PLT_SERVE_PRIORITY", "0", 1);
+  ::setenv("PLT_SERVE_DECODE_STEP_TOKENS", "3", 1);
+  SchedulerConfig good = SchedulerConfig::from_env();
+  EXPECT_FALSE(good.priority);
+  EXPECT_EQ(good.decode_step_tokens, 3);
+
+  // Malformed / out-of-range values warn and fall back to the defaults.
+  ::setenv("PLT_SERVE_PRIORITY", "maybe", 1);
+  ::setenv("PLT_SERVE_DECODE_STEP_TOKENS", "-5", 1);
+  SchedulerConfig bad = SchedulerConfig::from_env();
+  EXPECT_EQ(bad.priority, def.priority);
+  EXPECT_EQ(bad.decode_step_tokens, def.decode_step_tokens);
+
+  ::setenv("PLT_SERVE_DECODE_STEP_TOKENS", "99999", 1);  // > 4096 cap
+  EXPECT_EQ(SchedulerConfig::from_env().decode_step_tokens,
+            def.decode_step_tokens);
+
+  ::unsetenv("PLT_SERVE_PRIORITY");
+  ::unsetenv("PLT_SERVE_DECODE_STEP_TOKENS");
+}
+
 }  // namespace
 }  // namespace plt::serving
