@@ -52,6 +52,7 @@ bool parse_site(const std::string& tok, Site* out) {
   else if (tok == "queue_push") *out = Site::kQueuePush;
   else if (tok == "session_warmup") *out = Site::kSessionWarmup;
   else if (tok == "registry_lookup") *out = Site::kRegistryLookup;
+  else if (tok == "net_write") *out = Site::kNetWrite;
   else return false;
   return true;
 }
@@ -147,6 +148,7 @@ const char* site_name(Site s) {
     case Site::kQueuePush: return "queue_push";
     case Site::kSessionWarmup: return "session_warmup";
     case Site::kRegistryLookup: return "registry_lookup";
+    case Site::kNetWrite: return "net_write";
   }
   return "?";
 }

@@ -9,9 +9,12 @@
 //
 // Sites: kernel_exec (PARLOOPER nest dispatch), queue_push (serving
 // admission queue), session_warmup (Session::warmup), registry_lookup
-// (ModelRegistry::lookup). Kinds: `throw` (plt::RuntimeError, kInternal),
+// (ModelRegistry::lookup), net_write (network server response writes: the
+// event loop's send path). Kinds: `throw` (plt::RuntimeError, kInternal),
 // `full`/`fail` (the site reports its non-exceptional failure: a full queue,
-// a failed lookup). A malformed triple warns and is dropped; it never arms.
+// a failed lookup; at net_write, `full` forces a 1-byte short write — the
+// partial-write path — and `fail`/`throw` a connection reset). A malformed
+// triple warns and is dropped; it never arms.
 //
 // Determinism. Each site keeps an atomic event counter; event n fires iff
 // splitmix64(seed ^ site ^ n) maps below the armed probability. For a fixed
@@ -34,8 +37,9 @@ enum class Site : int {
   kQueuePush = 1,
   kSessionWarmup = 2,
   kRegistryLookup = 3,
+  kNetWrite = 4,
 };
-inline constexpr int kSiteCount = 4;
+inline constexpr int kSiteCount = 5;
 
 enum class Kind : int {
   kNone = 0,   // site not armed / did not fire

@@ -1,0 +1,108 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace plt::net {
+
+Status Client::connect(const std::string& host, int port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::Unavailable(std::string("connect ") + host + ":" +
+                                          std::to_string(port) + ": " +
+                                          std::strerror(errno));
+    close();
+    return st;
+  }
+  return Status::Ok();
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  read_buf_.clear();
+}
+
+Status Client::send_request(const RequestFrame& req) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  std::vector<std::uint8_t> bytes;
+  encode_request(req, &bytes);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const Status st =
+        Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    close();
+    return st;
+  }
+  return Status::Ok();
+}
+
+Status Client::recv_response(ResponseFrame* resp) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  while (true) {
+    // Try to decode before reading: pipelined responses often arrive several
+    // to a recv, and the leftover bytes of the previous decode may already
+    // hold a complete frame.
+    if (!read_buf_.empty()) {
+      std::size_t consumed = 0;
+      std::string error;
+      const DecodeResult res = decode_response(
+          read_buf_.data(), read_buf_.size(), resp, &consumed, &error);
+      if (res == DecodeResult::kOk) {
+        read_buf_.erase(read_buf_.begin(),
+                        read_buf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+        return Status::Ok();
+      }
+      if (res == DecodeResult::kError) {
+        close();  // stream desynchronized
+        return Status::InvalidArgument("malformed response: " + error);
+      }
+    }
+    std::uint8_t chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      read_buf_.insert(read_buf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const Status st = n == 0 ? Status::Unavailable("connection closed by server")
+                             : Status::Unavailable(std::string("recv: ") +
+                                                   std::strerror(errno));
+    close();
+    return st;
+  }
+}
+
+Status Client::call(const RequestFrame& req, ResponseFrame* resp) {
+  Status st = send_request(req);
+  if (!st.ok()) return st;
+  return recv_response(resp);
+}
+
+}  // namespace plt::net

@@ -1,0 +1,54 @@
+// Blocking wire-protocol client: the counterpart of net::Server used by the
+// tests, the serve_net_demo example and the bench_net loadgen.
+//
+// Two usage shapes:
+//   * call(req, &resp)            — one synchronous round trip.
+//   * send_request / recv_response — pipelining: keep N requests in flight
+//     on one connection; responses come back in completion order and carry
+//     the request_id you sent, so the caller correlates by id, not order.
+//
+// The client is deliberately dumb: blocking socket, full-frame reads via the
+// incremental wire decoder, no retries, no timeouts beyond the socket's.
+// Error handling is Status-first — a torn connection or malformed response
+// is kUnavailable/kInvalidArgument from the transport, distinct from the
+// SERVER's status which arrives inside a well-formed ResponseFrame.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/wire.hpp"
+
+namespace plt::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Blocking TCP connect; kUnavailable on failure. Reconnecting an open
+  // client closes the old socket first.
+  Status connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // One blocking round trip. Transport failures come back as a non-OK
+  // Status; the SERVER's verdict is resp->code either way.
+  Status call(const RequestFrame& req, ResponseFrame* resp);
+
+  // Pipelined halves of call(). send_request returns once the whole frame
+  // is on the socket; recv_response blocks until one full response frame
+  // arrives (any request_id).
+  Status send_request(const RequestFrame& req);
+  Status recv_response(ResponseFrame* resp);
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> read_buf_;  // bytes past the last decoded frame
+};
+
+}  // namespace plt::net

@@ -1,0 +1,81 @@
+// Per-tenant token-bucket admission quotas for the network front-end.
+//
+// Every request frame carries a tenant_id; the server charges one token from
+// that tenant's bucket BEFORE touching the registry or the scheduler, so an
+// over-quota tenant is answered RESOURCE_EXHAUSTED from the event loop
+// without consuming any serving capacity — the cheap reject the ROADMAP's
+// "quotas and backpressure surfaced as a wire status" item asks for.
+//
+// Classic token bucket: each tenant accrues `qps` tokens per second up to a
+// burst cap, one request costs one token. qps <= 0 disarms the quota (every
+// request admitted), so the default-off configuration costs one branch.
+//
+// Thread-safety: the server only calls admit() from its event-loop thread,
+// but the mutex keeps the class safe for tests and future multi-loop servers
+// — it is never on the model-execution hot path.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace plt::net {
+
+class TenantQuota {
+ public:
+  // qps: sustained tokens/second per tenant (<= 0 = unlimited). burst: bucket
+  // cap, i.e. the largest instantaneous spike admitted after idle accrual
+  // (<= 0 = same as qps, min 1).
+  explicit TenantQuota(double qps, double burst = 0.0)
+      : qps_(qps),
+        burst_(qps <= 0 ? 0.0 : (burst > 0 ? burst : (qps < 1 ? 1.0 : qps))) {}
+
+  bool enabled() const { return qps_ > 0; }
+
+  // Charges one token from `tenant`'s bucket at time `now`; false = over
+  // quota (the caller rejects RESOURCE_EXHAUSTED without side effects).
+  bool admit(std::uint64_t tenant, std::chrono::steady_clock::time_point now) {
+    if (!enabled()) return true;
+    std::lock_guard<std::mutex> g(mu_);
+    auto [it, inserted] = buckets_.try_emplace(tenant, Bucket{burst_, now});
+    Bucket& b = it->second;
+    if (!inserted) {
+      const double dt =
+          std::chrono::duration<double>(now - b.last_refill).count();
+      b.tokens = std::min(burst_, b.tokens + dt * qps_);
+      b.last_refill = now;
+    }
+    if (b.tokens < 1.0) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    b.tokens -= 1.0;
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Bucket {
+    double tokens;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  const double qps_;
+  const double burst_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace plt::net

@@ -1,0 +1,499 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/env.hpp"
+#include "common/fault.hpp"
+#include "common/log.hpp"
+#include "net/wire.hpp"
+
+namespace plt::net {
+
+using steady_clock = std::chrono::steady_clock;
+
+ServerConfig ServerConfig::from_env() {
+  const ServerConfig def;
+  ServerConfig c;
+  c.port = static_cast<int>(common::env_int("PLT_NET_PORT", def.port, 0, 65535));
+  c.max_conns = static_cast<int>(
+      common::env_int("PLT_NET_MAX_CONNS", def.max_conns, 1, 65536));
+  c.tenant_qps =
+      common::env_int("PLT_NET_TENANT_QPS", def.tenant_qps, 0, 100000000);
+  c.tenant_burst =
+      common::env_int("PLT_NET_TENANT_BURST", def.tenant_burst, 0, 100000000);
+  return c;
+}
+
+// Per-connection state machine. Owned and touched exclusively by the loop
+// thread; completion callbacks reference connections only by id.
+struct Server::Conn {
+  std::uint64_t id = 0;
+  int fd = -1;
+  std::vector<std::uint8_t> read_buf;
+  std::vector<std::uint8_t> write_buf;
+  std::size_t write_off = 0;  // flushed prefix of write_buf
+  bool want_write = false;    // EPOLLOUT currently armed
+  bool close_after_flush = false;  // protocol error: drain, then close
+  // Deferred close: handle_writable runs under callers that still hold this
+  // Conn& (process_frames mid-drain, drain_completions mid-batch), so it
+  // must never destroy the connection itself — it marks it dead and the
+  // nearest frame that holds no reference calls close_conn.
+  bool dead = false;
+};
+
+// One completed request's encoded response, queued by a scheduler thread for
+// the loop thread to attach to the connection's write buffer.
+struct Server::Completion {
+  std::uint64_t conn_id = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+// Buffers owned by an in-flight request: the scheduler requires in/out to
+// stay valid until the terminal callback, and the connection may die first —
+// so the callback (not the Conn) keeps them alive via shared_ptr.
+namespace {
+struct InFlightCtx {
+  std::vector<float> in;
+  std::vector<float> out;
+};
+}  // namespace
+
+Server::Server(serving::ModelRegistry& registry,
+               serving::RequestScheduler& scheduler, ServerConfig cfg)
+    : registry_(registry),
+      scheduler_(scheduler),
+      cfg_(cfg),
+      quota_(static_cast<double>(cfg.tenant_qps),
+             static_cast<double>(cfg.tenant_burst)) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (started_.exchange(true)) {
+    return Status::Unavailable("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st =
+        Status::Unavailable(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status st =
+        Status::Unavailable(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status st = Status::Unavailable("epoll_create1/eventfd failed");
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // listen socket sentinel
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.events = EPOLLIN;
+  ev.data.u64 = 1;  // eventfd sentinel
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  loop_ = std::thread([this] { loop_main(); });
+  PLT_LOG_INFO << "net: serving on 127.0.0.1:" << port_
+               << " (max_conns=" << cfg_.max_conns
+               << ", tenant_qps=" << cfg_.tenant_qps << ")";
+  return Status::Ok();
+}
+
+void Server::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_seq_cst);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+  if (loop_.joinable()) loop_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.conn_rejected = conn_rejected_.load(std::memory_order_relaxed);
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.quota_rejected = quota_.rejected();
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.write_faults = write_faults_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::update_epoll(Conn& c) {
+  epoll_event ev{};
+  // While stopping, reads are disabled: no new frames, no new submits — the
+  // drain only flushes what is already in flight.
+  ev.events = stopping_.load(std::memory_order_relaxed)
+                  ? 0u
+                  : std::uint32_t{EPOLLIN};
+  const bool pending = c.write_off < c.write_buf.size();
+  if (pending) ev.events |= EPOLLOUT;
+  c.want_write = pending;
+  ev.data.u64 = c.id + 2;  // 0/1 are the listen/eventfd sentinels
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void Server::handle_accept() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing more to accept
+    if (stopping_.load(std::memory_order_relaxed) ||
+        conns_.size() >= static_cast<std::size_t>(cfg_.max_conns)) {
+      // At the connection cap the cheapest honest answer is a closed door:
+      // no half-open connection ever queues frames we would have to shed.
+      conn_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id + 2;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Server::close_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+}
+
+void Server::handle_readable(Conn& c) {
+  std::uint8_t chunk[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      c.read_buf.insert(c.read_buf.end(), chunk, chunk + n);
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {  // orderly client close
+      close_conn(c.id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(c.id);  // reset or unrecoverable error
+    return;
+  }
+  const bool proto_ok = process_frames(c);
+  if (c.dead) {  // a reject flush hit a write fault / reset mid-drain
+    close_conn(c.id);
+    return;
+  }
+  if (!proto_ok) {
+    // Protocol error: the byte stream is desynchronized. A best-effort error
+    // response is already queued; close once it flushes (or immediately if
+    // nothing is pending).
+    c.close_after_flush = true;
+    if (c.write_off >= c.write_buf.size()) {
+      close_conn(c.id);
+      return;
+    }
+  }
+  update_epoll(c);
+}
+
+bool Server::process_frames(Conn& c) {
+  if (c.read_buf.empty() || c.close_after_flush || c.dead) return true;
+  // ONE registry snapshot per drain: every frame buffered in this readable
+  // event resolves against the same immutable table with zero locking —
+  // the reload swap costs readers nothing (satellite: registry mutex is off
+  // the dispatch path).
+  const auto snap = registry_.snapshot();
+  std::size_t off = 0;
+  bool ok = true;
+  while (off < c.read_buf.size() && !c.dead) {
+    RequestFrame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    const DecodeResult res = decode_request(c.read_buf.data() + off,
+                                            c.read_buf.size() - off, &frame,
+                                            &consumed, &error);
+    if (res == DecodeResult::kNeedMore) break;
+    if (res == DecodeResult::kError) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      ResponseFrame err;
+      err.request_id = 0;  // the frame was unparseable; no id to echo
+      err.code = WireCode::kInvalidArgument;
+      err.message = "protocol error: " + error;
+      std::vector<std::uint8_t> bytes;
+      encode_response(err, &bytes);
+      queue_response(c, std::move(bytes));
+      ok = false;
+      break;
+    }
+    off += consumed;
+    frames_.fetch_add(1, std::memory_order_relaxed);
+
+    const auto reject = [&](WireCode code, const std::string& msg) {
+      ResponseFrame r;
+      r.request_id = frame.request_id;
+      r.code = code;
+      r.message = msg;
+      std::vector<std::uint8_t> bytes;
+      encode_response(r, &bytes);
+      queue_response(c, std::move(bytes));
+    };
+
+    // Quota before anything else: an over-quota tenant must not cost a
+    // registry lookup, an allocation, or a scheduler slot.
+    if (!quota_.admit(frame.tenant_id, steady_clock::now())) {
+      reject(WireCode::kResourceExhausted,
+             "tenant " + std::to_string(frame.tenant_id) + " over quota");
+      continue;
+    }
+    const auto it = snap->by_name.find(frame.name);
+    if (it == snap->by_name.end()) {
+      reject(WireCode::kInvalidArgument, "unknown model: " + frame.name);
+      continue;
+    }
+    const std::shared_ptr<serving::Session>& session = it->second;
+    if (frame.payload.size() !=
+        static_cast<std::size_t>(session->input_elems())) {
+      reject(WireCode::kInvalidArgument,
+             "payload holds " + std::to_string(frame.payload.size()) +
+                 " floats, model expects " +
+                 std::to_string(session->input_elems()));
+      continue;
+    }
+    if (frame.cls > 2) {
+      reject(WireCode::kInvalidArgument,
+             "bad request class " + std::to_string(frame.cls));
+      continue;
+    }
+
+    auto ctx = std::make_shared<InFlightCtx>();
+    ctx->in = std::move(frame.payload);
+    ctx->out.resize(static_cast<std::size_t>(session->output_elems()));
+
+    serving::Request req;
+    req.in = ctx->in.data();
+    req.out = ctx->out.data();
+    req.cls = static_cast<serving::RequestClass>(frame.cls);
+    req.deadline_usecs = frame.deadline_usecs < -1 ? -1 : frame.deadline_usecs;
+    const std::uint64_t conn_id = c.id;
+    const std::uint64_t request_id = frame.request_id;
+    in_flight_.fetch_add(1, std::memory_order_seq_cst);
+    req.on_done = [this, ctx, conn_id, request_id](const Status& st) {
+      // Runs on whichever thread resolved the request (dispatcher, or this
+      // loop thread for an immediate refusal): encode, enqueue for the loop,
+      // ring the eventfd. The wire layer serializes handle.status() 1:1 —
+      // shed/deadline/quarantine arrive here as their own codes already.
+      ResponseFrame resp;
+      resp.request_id = request_id;
+      resp.code = wire_code_from_status(st.code());
+      if (st.ok()) {
+        resp.payload = std::move(ctx->out);
+      } else {
+        resp.message = st.message().size() > kMaxMessageLen
+                           ? st.message().substr(0, kMaxMessageLen)
+                           : st.message();
+      }
+      Completion done;
+      done.conn_id = conn_id;
+      encode_response(resp, &done.bytes);
+      {
+        std::lock_guard<std::mutex> g(completions_mu_);
+        completions_.push_back(std::move(done));
+      }
+      const std::uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+      in_flight_.fetch_sub(1, std::memory_order_seq_cst);
+    };
+    // The handle itself is intentionally dropped: on_done is the completion
+    // channel, and the scheduler guarantees exactly one terminal resolution
+    // per submit (including refusals, which fire on_done synchronously).
+    (void)scheduler_.submit(session, req);
+  }
+  c.read_buf.erase(c.read_buf.begin(),
+                   c.read_buf.begin() + static_cast<std::ptrdiff_t>(off));
+  return ok;
+}
+
+void Server::queue_response(Conn& c, std::vector<std::uint8_t> bytes) {
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  c.write_buf.insert(c.write_buf.end(), bytes.begin(), bytes.end());
+  handle_writable(c);  // opportunistic flush; arms EPOLLOUT on partial write
+}
+
+void Server::handle_writable(Conn& c) {
+  if (c.dead) return;
+  while (c.write_off < c.write_buf.size()) {
+    std::size_t len = c.write_buf.size() - c.write_off;
+    switch (common::fault::should_inject(common::fault::Site::kNetWrite)) {
+      case common::fault::Kind::kFull:
+        // Injected short write: hand the kernel ONE byte so the remainder
+        // must survive a re-arm — the partial-write path under test.
+        len = 1;
+        break;
+      case common::fault::Kind::kThrow:
+      case common::fault::Kind::kFail:
+        // Injected connection reset mid-response.
+        write_faults_.fetch_add(1, std::memory_order_relaxed);
+        c.dead = true;
+        return;
+      case common::fault::Kind::kNone:
+        break;
+    }
+    const ssize_t n =
+        ::send(c.fd, c.write_buf.data() + c.write_off, len, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.write_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    c.dead = true;  // EPIPE/reset: the client is gone
+    return;
+  }
+  if (c.write_off >= c.write_buf.size()) {
+    c.write_buf.clear();
+    c.write_off = 0;
+    if (c.close_after_flush) {
+      c.dead = true;
+      return;
+    }
+  }
+  update_epoll(c);
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> g(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (auto& done : batch) {
+    const auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) continue;  // client vanished; drop the response
+    queue_response(*it->second, std::move(done.bytes));
+    if (it->second->dead) close_conn(done.conn_id);
+  }
+}
+
+void Server::loop_main() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  steady_clock::time_point drain_deadline{};
+  bool draining = false;
+  while (true) {
+    if (stopping_.load(std::memory_order_seq_cst)) {
+      if (!draining) {
+        draining = true;
+        // Grace window for the flush: every in-flight request must resolve
+        // (the scheduler guarantees it) and its response reach the socket,
+        // but a client that never reads cannot wedge shutdown forever.
+        drain_deadline = steady_clock::now() + std::chrono::seconds(5);
+        for (auto& entry : conns_) update_epoll(*entry.second);  // reads off
+      }
+      drain_completions();
+      bool writes_pending = false;
+      for (auto& entry : conns_) {
+        writes_pending = writes_pending || entry.second->write_off <
+                                               entry.second->write_buf.size();
+      }
+      const bool drained =
+          in_flight_.load(std::memory_order_seq_cst) == 0 && !writes_pending;
+      {
+        std::lock_guard<std::mutex> g(completions_mu_);
+        if (drained && completions_.empty()) break;
+      }
+      if (steady_clock::now() >= drain_deadline) break;
+    }
+
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents,
+                               /*timeout_ms=*/draining ? 10 : 200);
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        handle_accept();
+        continue;
+      }
+      if (tag == 1) {
+        std::uint64_t drainv;
+        while (::read(wake_fd_, &drainv, sizeof(drainv)) > 0) {
+        }
+        drain_completions();
+        continue;
+      }
+      const auto it = conns_.find(tag - 2);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Conn& c = *it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(c.id);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        handle_writable(c);
+        if (c.dead) {
+          close_conn(c.id);
+          continue;
+        }
+      }
+      if ((events[i].events & EPOLLIN) != 0 &&
+          !stopping_.load(std::memory_order_relaxed)) {
+        handle_readable(c);
+      }
+    }
+    drain_completions();
+  }
+  // Loop exit: force-close whatever remains.
+  for (auto& entry : conns_) ::close(entry.second->fd);
+  conns_.clear();
+}
+
+}  // namespace plt::net

@@ -1,0 +1,235 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace plt::net {
+
+namespace {
+
+// Explicit little-endian stores/loads: byte shifts, not memcpy of host
+// integers, so the byte stream is identical on any host endianness.
+void store_u16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void store_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void store_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint16_t load_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+void store_f32_payload(std::vector<std::uint8_t>* out,
+                       const std::vector<float>& payload) {
+  for (float f : payload) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    store_u32(out, bits);
+  }
+}
+
+void load_f32_payload(const std::uint8_t* p, std::size_t n_floats,
+                      std::vector<float>* out) {
+  out->resize(n_floats);
+  for (std::size_t i = 0; i < n_floats; ++i) {
+    const std::uint32_t bits = load_u32(p + 4 * i);
+    std::memcpy(&(*out)[i], &bits, sizeof(float));
+  }
+}
+
+// Shared prefix check: magic, version, expected frame type. Returns kOk when
+// the 8 prefix bytes are valid, kError (with *error) otherwise. len >= 8.
+DecodeResult check_prefix(const std::uint8_t* data, std::uint16_t want_type,
+                          std::string* error) {
+  if (load_u32(data) != kWireMagic) {
+    *error = "bad magic (not a PLTW frame)";
+    return DecodeResult::kError;
+  }
+  const std::uint16_t version = load_u16(data + 4);
+  if (version != kWireVersion) {
+    *error = "wire version mismatch: got " + std::to_string(version) +
+             ", want " + std::to_string(kWireVersion);
+    return DecodeResult::kError;
+  }
+  const std::uint16_t type = load_u16(data + 6);
+  if (type != want_type) {
+    *error = "unexpected frame type " + std::to_string(type);
+    return DecodeResult::kError;
+  }
+  return DecodeResult::kOk;
+}
+
+}  // namespace
+
+WireCode wire_code_from_status(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return WireCode::kOk;
+    case StatusCode::kInvalidArgument: return WireCode::kInvalidArgument;
+    case StatusCode::kDeadlineExceeded: return WireCode::kDeadlineExceeded;
+    case StatusCode::kUnavailable: return WireCode::kUnavailable;
+    case StatusCode::kResourceExhausted: return WireCode::kResourceExhausted;
+    case StatusCode::kInternal: return WireCode::kInternal;
+    case StatusCode::kInFlight: break;  // non-terminal: never on the wire
+  }
+  return WireCode::kInternal;
+}
+
+bool status_from_wire_code(std::uint16_t wire, StatusCode* out) {
+  switch (static_cast<WireCode>(wire)) {
+    case WireCode::kOk: *out = StatusCode::kOk; return true;
+    case WireCode::kInvalidArgument:
+      *out = StatusCode::kInvalidArgument;
+      return true;
+    case WireCode::kDeadlineExceeded:
+      *out = StatusCode::kDeadlineExceeded;
+      return true;
+    case WireCode::kUnavailable: *out = StatusCode::kUnavailable; return true;
+    case WireCode::kResourceExhausted:
+      *out = StatusCode::kResourceExhausted;
+      return true;
+    case WireCode::kInternal: *out = StatusCode::kInternal; return true;
+  }
+  return false;
+}
+
+const char* wire_code_name(WireCode c) {
+  StatusCode sc;
+  if (!status_from_wire_code(static_cast<std::uint16_t>(c), &sc)) return "?";
+  return status_code_name(sc);
+}
+
+void encode_request(const RequestFrame& f, std::vector<std::uint8_t>* out) {
+  const std::size_t payload_bytes = f.payload.size() * 4;
+  out->reserve(out->size() + kRequestHeaderBytes + f.name.size() +
+               payload_bytes);
+  store_u32(out, kWireMagic);
+  store_u16(out, kWireVersion);
+  store_u16(out, kFrameRequest);
+  store_u64(out, f.request_id);
+  store_u64(out, f.tenant_id);
+  store_u16(out, f.cls);
+  store_u16(out, static_cast<std::uint16_t>(f.name.size()));
+  store_u32(out, static_cast<std::uint32_t>(payload_bytes));
+  store_u64(out, static_cast<std::uint64_t>(f.deadline_usecs));
+  out->insert(out->end(), f.name.begin(), f.name.end());
+  store_f32_payload(out, f.payload);
+}
+
+void encode_response(const ResponseFrame& f, std::vector<std::uint8_t>* out) {
+  const std::size_t payload_bytes = f.payload.size() * 4;
+  out->reserve(out->size() + kResponseHeaderBytes + f.message.size() +
+               payload_bytes);
+  store_u32(out, kWireMagic);
+  store_u16(out, kWireVersion);
+  store_u16(out, kFrameResponse);
+  store_u64(out, f.request_id);
+  store_u16(out, static_cast<std::uint16_t>(f.code));
+  store_u16(out, static_cast<std::uint16_t>(f.message.size()));
+  store_u32(out, static_cast<std::uint32_t>(payload_bytes));
+  out->insert(out->end(), f.message.begin(), f.message.end());
+  store_f32_payload(out, f.payload);
+}
+
+DecodeResult decode_request(const std::uint8_t* data, std::size_t len,
+                            RequestFrame* out, std::size_t* consumed,
+                            std::string* error) {
+  if (len < kRequestHeaderBytes) return DecodeResult::kNeedMore;
+  const DecodeResult pre = check_prefix(data, kFrameRequest, error);
+  if (pre != DecodeResult::kOk) return pre;
+  // Every length is validated against its cap BEFORE any allocation — an
+  // oversized prefix is rejected from the header bytes alone.
+  const std::size_t name_len = load_u16(data + 26);
+  const std::size_t payload_len = load_u32(data + 28);
+  if (name_len == 0 || name_len > kMaxNameLen) {
+    *error = "request name length " + std::to_string(name_len) +
+             " outside [1, " + std::to_string(kMaxNameLen) + "]";
+    return DecodeResult::kError;
+  }
+  if (payload_len > kMaxPayloadBytes) {
+    *error = "request payload length " + std::to_string(payload_len) +
+             " exceeds cap " + std::to_string(kMaxPayloadBytes);
+    return DecodeResult::kError;
+  }
+  if (payload_len % 4 != 0) {
+    *error = "request payload length " + std::to_string(payload_len) +
+             " is not a multiple of 4 (float32 payload)";
+    return DecodeResult::kError;
+  }
+  const std::size_t total = kRequestHeaderBytes + name_len + payload_len;
+  if (len < total) return DecodeResult::kNeedMore;
+  out->request_id = load_u64(data + 8);
+  out->tenant_id = load_u64(data + 16);
+  out->cls = load_u16(data + 24);
+  out->deadline_usecs = static_cast<std::int64_t>(load_u64(data + 32));
+  out->name.assign(reinterpret_cast<const char*>(data + kRequestHeaderBytes),
+                   name_len);
+  load_f32_payload(data + kRequestHeaderBytes + name_len, payload_len / 4,
+                   &out->payload);
+  *consumed = total;
+  return DecodeResult::kOk;
+}
+
+DecodeResult decode_response(const std::uint8_t* data, std::size_t len,
+                             ResponseFrame* out, std::size_t* consumed,
+                             std::string* error) {
+  if (len < kResponseHeaderBytes) return DecodeResult::kNeedMore;
+  const DecodeResult pre = check_prefix(data, kFrameResponse, error);
+  if (pre != DecodeResult::kOk) return pre;
+  const std::uint16_t wire = load_u16(data + 16);
+  StatusCode code;
+  if (!status_from_wire_code(wire, &code)) {
+    *error = "unknown wire status code " + std::to_string(wire);
+    return DecodeResult::kError;
+  }
+  const std::size_t msg_len = load_u16(data + 18);
+  const std::size_t payload_len = load_u32(data + 20);
+  if (msg_len > kMaxMessageLen) {
+    *error = "response message length " + std::to_string(msg_len) +
+             " exceeds cap " + std::to_string(kMaxMessageLen);
+    return DecodeResult::kError;
+  }
+  if (payload_len > kMaxPayloadBytes) {
+    *error = "response payload length " + std::to_string(payload_len) +
+             " exceeds cap " + std::to_string(kMaxPayloadBytes);
+    return DecodeResult::kError;
+  }
+  if (payload_len % 4 != 0) {
+    *error = "response payload length " + std::to_string(payload_len) +
+             " is not a multiple of 4 (float32 payload)";
+    return DecodeResult::kError;
+  }
+  const std::size_t total = kResponseHeaderBytes + msg_len + payload_len;
+  if (len < total) return DecodeResult::kNeedMore;
+  out->request_id = load_u64(data + 8);
+  out->code = static_cast<WireCode>(wire);
+  out->message.assign(
+      reinterpret_cast<const char*>(data + kResponseHeaderBytes), msg_len);
+  load_f32_payload(data + kResponseHeaderBytes + msg_len, payload_len / 4,
+                   &out->payload);
+  *consumed = total;
+  return DecodeResult::kOk;
+}
+
+}  // namespace plt::net

@@ -1,0 +1,117 @@
+// Binary wire protocol for the network front-end: length-prefixed request/
+// response frames with explicit little-endian field encoding — no protobuf,
+// no host-endianness assumptions baked into the byte stream.
+//
+// Frame layouts (all multi-byte fields little-endian):
+//
+//   request (header 40 bytes, then name, then payload):
+//     [ 0..3 ]  u32  magic            0x57544C50 ("PLTW")
+//     [ 4..5 ]  u16  version          kWireVersion
+//     [ 6..7 ]  u16  type             1 = request
+//     [ 8..15]  u64  request_id       echoed verbatim in the response
+//     [16..23]  u64  tenant_id        quota bucket key
+//     [24..25]  u16  class            0 latency | 1 throughput | 2 default
+//     [26..27]  u16  name_len         session name bytes (<= kMaxNameLen)
+//     [28..31]  u32  payload_len      input bytes (<= kMaxPayloadBytes,
+//                                     multiple of 4 — float32 payload)
+//     [32..39]  i64  deadline_usecs   -1 server default | 0 none | > 0 rel.
+//
+//   response (header 24 bytes, then message, then payload):
+//     [ 0..3 ]  u32  magic
+//     [ 4..5 ]  u16  version
+//     [ 6..7 ]  u16  type             2 = response
+//     [ 8..15]  u64  request_id
+//     [16..17]  u16  wire status code (WireCode — 1:1 with plt::StatusCode)
+//     [18..19]  u16  msg_len          UTF-8 status detail (<= kMaxMessageLen)
+//     [20..23]  u32  payload_len      output bytes (0 on any non-OK status)
+//
+// Decoding is incremental: decode_request/decode_response return kNeedMore
+// until a full frame is buffered, and validate every length field BEFORE
+// allocating for it — an adversarial 4 GB length prefix is rejected from the
+// 40 header bytes alone, it never reserves memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace plt::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x57544C50u;  // "PLTW"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kFrameRequest = 1;
+inline constexpr std::uint16_t kFrameResponse = 2;
+
+inline constexpr std::size_t kRequestHeaderBytes = 40;
+inline constexpr std::size_t kResponseHeaderBytes = 24;
+inline constexpr std::size_t kMaxNameLen = 256;
+inline constexpr std::size_t kMaxMessageLen = 1024;
+// Upper bound on a frame's tensor payload. Large enough for every model the
+// serving layer hosts (a 4 MB activation is already generous), small enough
+// that a corrupt or hostile length prefix cannot balloon the read buffer.
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{64} << 20;
+
+// Wire status codes: the 1:1 image of plt::StatusCode's terminal codes. The
+// numbering matches StatusCode on purpose, but the mapping goes through
+// wire_code_from_status/status_from_wire_code so the coupling is explicit
+// and round-trip-tested, never an implicit cast.
+enum class WireCode : std::uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kDeadlineExceeded = 2,
+  kUnavailable = 3,
+  kResourceExhausted = 4,
+  kInternal = 5,
+};
+
+// Terminal StatusCode -> wire code. kInFlight is non-terminal and never
+// crosses the wire; mapping it is a server bug reported as kInternal.
+WireCode wire_code_from_status(StatusCode c);
+
+// Wire code -> StatusCode. Returns false (and leaves *out untouched) for a
+// value outside the WireCode range — a corrupt or future-version response.
+bool status_from_wire_code(std::uint16_t wire, StatusCode* out);
+
+const char* wire_code_name(WireCode c);
+
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t tenant_id = 0;
+  std::uint16_t cls = 2;  // RequestClass numbering; 2 = session default
+  std::int64_t deadline_usecs = -1;
+  std::string name;            // session/model name
+  std::vector<float> payload;  // input tensor, row-major float32
+};
+
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  WireCode code = WireCode::kOk;
+  std::string message;         // status detail, empty on OK
+  std::vector<float> payload;  // output tensor, empty on any non-OK status
+};
+
+// Appends one encoded frame to *out (callers batch multiple frames into one
+// buffer for pipelined writes).
+void encode_request(const RequestFrame& f, std::vector<std::uint8_t>* out);
+void encode_response(const ResponseFrame& f, std::vector<std::uint8_t>* out);
+
+enum class DecodeResult {
+  kNeedMore,  // buffer holds a valid prefix of a frame; read more bytes
+  kOk,        // one frame decoded; *consumed bytes were used
+  kError,     // malformed frame (bad magic/version/type/length); *error set.
+              // The stream is desynchronized — the connection must close.
+};
+
+// Decodes one frame from [data, data+len). On kOk, *out is filled and
+// *consumed is the frame's full byte size; on kError, *error names the
+// violation and the frame must not be retried.
+DecodeResult decode_request(const std::uint8_t* data, std::size_t len,
+                            RequestFrame* out, std::size_t* consumed,
+                            std::string* error);
+DecodeResult decode_response(const std::uint8_t* data, std::size_t len,
+                             ResponseFrame* out, std::size_t* consumed,
+                             std::string* error);
+
+}  // namespace plt::net

@@ -1,31 +1,88 @@
 #include "serving/model_registry.hpp"
 
+#include <unordered_set>
+
 #include "common/check.hpp"
 #include "common/fault.hpp"
 #include "common/threading.hpp"
 
 namespace plt::serving {
 
+ModelRegistry::ModelRegistry()
+    : snap_(std::make_shared<const Snapshot>()) {}
+
+void ModelRegistry::publish_locked(std::shared_ptr<Snapshot> next) {
+  next->version = next_version_++;
+  std::atomic_store_explicit(
+      &snap_, std::shared_ptr<const Snapshot>(std::move(next)),
+      std::memory_order_release);
+}
+
+std::shared_ptr<const ModelRegistry::Snapshot> ModelRegistry::snapshot()
+    const {
+  return std::atomic_load_explicit(&snap_, std::memory_order_acquire);
+}
+
 void ModelRegistry::add(std::shared_ptr<Session> session, int partition) {
   PLT_CHECK(session != nullptr, "registry: null session");
   int pin = partition;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto [it, inserted] = by_name_.emplace(session->name(), session);
-    PLT_CHECK(inserted, "registry: duplicate model name");
-    ordered_.push_back(session);
+    const auto cur = snapshot();
+    PLT_CHECK(cur->by_name.find(session->name()) == cur->by_name.end(),
+              "registry: duplicate model name");
     const int nparts = pool_partitions();
     if (pin < 0) pin = next_partition_++ % nparts;
     pin %= nparts;
+    // Copy-on-write: the published table is immutable, so add() builds the
+    // successor and swaps — concurrent readers keep walking the old one.
+    auto next = std::make_shared<Snapshot>(*cur);
+    next->by_name.emplace(session->name(), session);
+    next->ordered.push_back(session);
+    publish_locked(std::move(next));
   }
   // Outside the lock: the first-touch warmup runs real model forwards.
   session->pin_partition(pin);
 }
 
-std::shared_ptr<Session> ModelRegistry::find(const std::string& name) const {
+void ModelRegistry::reload(const SnapshotBuilder& builder) {
+  PLT_CHECK(builder != nullptr, "registry: null reload builder");
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = by_name_.find(name);
-  return it == by_name_.end() ? nullptr : it->second;
+  const auto cur = snapshot();
+  std::vector<std::shared_ptr<Session>> next_sessions = builder(cur->ordered);
+  auto next = std::make_shared<Snapshot>();
+  next->ordered.reserve(next_sessions.size());
+  std::vector<std::shared_ptr<Session>> fresh;  // not in the old table
+  for (auto& s : next_sessions) {
+    PLT_CHECK(s != nullptr, "registry: reload built a null session");
+    const auto [it, inserted] = next->by_name.emplace(s->name(), s);
+    (void)it;
+    PLT_CHECK(inserted, "registry: reload built a duplicate model name");
+    const auto old = cur->by_name.find(s->name());
+    if (old == cur->by_name.end() || old->second != s) fresh.push_back(s);
+    next->ordered.push_back(std::move(s));
+  }
+  // Pin + first-touch-warm the new sessions BEFORE publishing: the swap must
+  // never expose a session whose plans/kernels are still unresolved to live
+  // traffic (that would turn the first post-reload request into a warmup).
+  // Holding mu_ here only blocks other writers; readers stay on `cur`.
+  for (const auto& s : fresh) {
+    if (s->partition() < 0) {
+      s->pin_partition(next_partition_++ % pool_partitions());
+    } else {
+      s->pin_partition(s->partition());
+    }
+  }
+  publish_locked(std::move(next));
+  // `cur` (and any session only it references) drains naturally: in-flight
+  // requests hold shared_ptr<Session>, so the old model frees only after its
+  // last batch completes — zero dropped requests across the swap.
+}
+
+std::shared_ptr<Session> ModelRegistry::find(const std::string& name) const {
+  const auto snap = snapshot();
+  const auto it = snap->by_name.find(name);
+  return it == snap->by_name.end() ? nullptr : it->second;
 }
 
 StatusOr<std::shared_ptr<Session>> ModelRegistry::lookup(
@@ -60,19 +117,15 @@ Status ModelRegistry::set_default_class(const std::string& name,
 }
 
 std::vector<std::shared_ptr<Session>> ModelRegistry::sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ordered_;
+  return snapshot()->ordered;
 }
 
-std::size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ordered_.size();
-}
+std::size_t ModelRegistry::size() const { return snapshot()->ordered.size(); }
 
 std::size_t ModelRegistry::healthy_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto snap = snapshot();
   std::size_t n = 0;
-  for (const auto& s : ordered_) n += s->healthy() ? 1 : 0;
+  for (const auto& s : snap->ordered) n += s->healthy() ? 1 : 0;
   return n;
 }
 

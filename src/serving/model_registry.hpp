@@ -1,9 +1,25 @@
-// Registry of live serving sessions, keyed by model name. The scheduler
-// resolves submit-by-name through it; benches and the demo iterate it to
-// drive mixed traffic. Thread-safe (sessions register at startup but lookups
-// run concurrently with serving).
+// Registry of live serving sessions, keyed by model name. The scheduler and
+// the network front-end resolve submit-by-name through it; benches and the
+// demos iterate it to drive mixed traffic.
+//
+// Hot reload. The session table lives in an immutable Snapshot published
+// through an atomic shared_ptr exchange (the same swap shape as the
+// scheduler's pre-planned cache): readers load the pointer once and walk a
+// table that can never change under them — no mutex on the lookup hot path —
+// while writers (add/reload) build a fresh Snapshot under a writer mutex and
+// publish it in one atomic store. reload(builder) replaces the whole table
+// under live traffic with ZERO dropped requests: in-flight requests hold
+// shared_ptr<Session> references into the old snapshot and drain against it,
+// new arrivals resolve against the new one, and the old sessions free when
+// their last in-flight batch completes.
+//
+// Hot-path rule: resolve MANY names against ONE snapshot() — take the
+// pointer once per batch/drain, not once per request (the network server's
+// read loop does exactly this). find()/lookup() are one-shot conveniences
+// that grab a fresh snapshot internally.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -17,6 +33,20 @@ namespace plt::serving {
 
 class ModelRegistry {
  public:
+  // Immutable published session table. version increments on every publish
+  // (add or reload), so observers can tell snapshots apart.
+  struct Snapshot {
+    std::unordered_map<std::string, std::shared_ptr<Session>> by_name;
+    std::vector<std::shared_ptr<Session>> ordered;  // registration order
+    std::uint64_t version = 0;
+  };
+
+  // Builds the successor session table from the current one. Returning the
+  // full table (not a delta) keeps reload transactional: the swap publishes
+  // exactly what the builder returned, nothing in between.
+  using SnapshotBuilder = std::function<std::vector<std::shared_ptr<Session>>(
+      const std::vector<std::shared_ptr<Session>>& current)>;
+
   // Registers a session under session->name(); fails on duplicates (two
   // models with one name would make batch grouping ambiguous). Registration
   // pins the session to a pool partition (explicit `partition`, else
@@ -25,6 +55,22 @@ class ModelRegistry {
   // scheduler serves it where its memory lives. On a single-partition pool
   // (or a non-pool runtime) pinning is a no-op beyond recording partition 0.
   void add(std::shared_ptr<Session> session, int partition = -1);
+
+  // Atomically replaces the session table with builder(current). Sessions
+  // reused from `current` keep their pins and health; NEW sessions are
+  // pinned round-robin and first-touch-warmed BEFORE the swap, so the first
+  // request a fresh model sees is already on cached plans. Throws
+  // std::invalid_argument (table unchanged) on null sessions or duplicate
+  // names. Writers serialize; readers never block.
+  void reload(const SnapshotBuilder& builder);
+
+  // Loads the current table: one atomic shared_ptr load, no mutex. The
+  // returned snapshot is immutable and safe to resolve against for as long
+  // as the caller holds it (in-flight work drains against old snapshots).
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  // Number of times a new table has been published (add() or reload()).
+  std::uint64_t version() const { return snapshot()->version; }
 
   // nullptr when the name is unknown.
   std::shared_ptr<Session> find(const std::string& name) const;
@@ -54,10 +100,18 @@ class ModelRegistry {
   // scoped registries remain constructible for tests.
   static ModelRegistry& instance();
 
+  ModelRegistry();
+
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Session>> by_name_;
-  std::vector<std::shared_ptr<Session>> ordered_;
+  // Publishes `next` as the current snapshot (stamps the version). Caller
+  // holds mu_.
+  void publish_locked(std::shared_ptr<Snapshot> next);
+
+  mutable std::mutex mu_;  // serializes WRITERS only (add/reload)
+  // Readers use std::atomic_load on this shared_ptr (C++17's atomic
+  // shared_ptr free functions); writers std::atomic_store a fresh Snapshot.
+  std::shared_ptr<const Snapshot> snap_;
+  std::uint64_t next_version_ = 1;
   int next_partition_ = 0;  // round-robin cursor for unpinned registrations
 };
 

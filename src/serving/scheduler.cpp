@@ -130,6 +130,7 @@ void RequestScheduler::complete_terminal(detail::RequestState& r,
     std::lock_guard<std::mutex> g(done_mu_);
   }
   done_cv_.notify_all();
+  if (r.on_done) r.on_done(r.status);
 }
 
 RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
@@ -146,6 +147,7 @@ RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
   st->session = session;
   st->in = req.in;
   st->out = req.out;
+  st->on_done = req.on_done;
   st->owner = this;
   st->t_submit = steady_clock::now();
   st->cls = req.cls == RequestClass::kSessionDefault ? session->default_class()
@@ -331,6 +333,9 @@ void RequestScheduler::execute_batch(
     std::lock_guard<std::mutex> g(done_mu_);
   }
   done_cv_.notify_all();
+  for (auto& r : reqs) {
+    if (r->on_done) r->on_done(r->status);
+  }
 }
 
 std::vector<std::shared_ptr<detail::RequestState>>
@@ -432,6 +437,9 @@ RequestScheduler::execute_steps(
       std::lock_guard<std::mutex> g(done_mu_);
     }
     done_cv_.notify_all();
+    for (auto& r : terminal) {
+      if (r->on_done) r->on_done(r->status);
+    }
   }
   return survivors;
 }

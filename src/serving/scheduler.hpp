@@ -60,6 +60,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -131,11 +132,21 @@ struct SchedulerConfig {
 // from submit (expired-while-queued requests complete kDeadlineExceeded
 // without executing; a stepped request that already ran its first step is
 // past the point of no return and always runs to completion).
+//
+// on_done: optional completion callback, invoked EXACTLY ONCE with the
+// request's terminal status, after done() is observable — on every terminal
+// path (executed, failed, expired, shed, rejected-at-submit). It runs on
+// whichever thread resolves the request (a dispatcher for executed/expired
+// work, the submitting thread for refusals), so it must be cheap and must
+// not block on the scheduler: the network front-end uses it to hand the
+// encoded response to its event loop instead of parking a thread per
+// request on handle.wait().
 struct Request {
   const float* in = nullptr;
   float* out = nullptr;
   RequestClass cls = RequestClass::kSessionDefault;
   std::int64_t deadline_usecs = -1;
+  std::function<void(const Status&)> on_done;
 };
 
 // Legacy per-request submit options, kept so pre-redesign call sites compile
@@ -203,6 +214,7 @@ struct RequestState {
   int lane = -1;
   Status status;             // terminal status; written before done's release
   double latency_us = 0.0;   // written by the dispatcher before done
+  std::function<void(const Status&)> on_done;  // fired once, after done
   std::atomic<bool> done{false};
 };
 }  // namespace detail
