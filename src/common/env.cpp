@@ -8,24 +8,52 @@
 
 namespace plt::common {
 
-std::int64_t env_int(const char* name, std::int64_t def, std::int64_t lo,
-                     std::int64_t hi) {
+namespace {
+
+enum class EnvIntParse { kUnset, kMalformed, kOutOfRange, kOk };
+
+EnvIntParse parse_env_int(const char* name, std::int64_t lo, std::int64_t hi,
+                          const char** env_out, std::int64_t* value_out) {
   const char* env = std::getenv(name);
-  if (env == nullptr || env[0] == '\0') return def;
+  *env_out = env;
+  if (env == nullptr || env[0] == '\0') return EnvIntParse::kUnset;
   errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(env, &end, 10);
-  if (errno != 0 || end == env || *end != '\0') {
-    PLT_LOG_WARN << name << "='" << env << "' is not an integer; using "
-                 << def;
-    return def;
+  if (errno != 0 || end == env || *end != '\0') return EnvIntParse::kMalformed;
+  *value_out = static_cast<std::int64_t>(v);
+  if (v < lo || v > hi) return EnvIntParse::kOutOfRange;
+  return EnvIntParse::kOk;
+}
+
+}  // namespace
+
+std::int64_t env_int(const char* name, std::int64_t def, std::int64_t lo,
+                     std::int64_t hi) {
+  const char* env = nullptr;
+  std::int64_t v = 0;
+  switch (parse_env_int(name, lo, hi, &env, &v)) {
+    case EnvIntParse::kUnset:
+      return def;
+    case EnvIntParse::kMalformed:
+      PLT_LOG_WARN << name << "='" << env << "' is not an integer; using "
+                   << def;
+      return def;
+    case EnvIntParse::kOutOfRange:
+      PLT_LOG_WARN << name << "=" << v << " outside [" << lo << ", " << hi
+                   << "]; using " << def;
+      return def;
+    case EnvIntParse::kOk:
+      return v;
   }
-  if (v < lo || v > hi) {
-    PLT_LOG_WARN << name << "=" << v << " outside [" << lo << ", " << hi
-                 << "]; using " << def;
-    return def;
-  }
-  return static_cast<std::int64_t>(v);
+  return def;
+}
+
+std::int64_t env_int_quiet(const char* name, std::int64_t def, std::int64_t lo,
+                           std::int64_t hi) {
+  const char* env = nullptr;
+  std::int64_t v = 0;
+  return parse_env_int(name, lo, hi, &env, &v) == EnvIntParse::kOk ? v : def;
 }
 
 bool env_flag(const char* name, bool def) {

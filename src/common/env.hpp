@@ -20,6 +20,13 @@ namespace plt::common {
 std::int64_t env_int(const char* name, std::int64_t def,
                      std::int64_t lo = INT64_MIN, std::int64_t hi = INT64_MAX);
 
+// env_int without the warning path, for knobs the logger itself reads
+// (PLT_LOG_LEVEL): warning on a bad value would re-enter log_level() while
+// its function-local static is still initializing.
+std::int64_t env_int_quiet(const char* name, std::int64_t def,
+                           std::int64_t lo = INT64_MIN,
+                           std::int64_t hi = INT64_MAX);
+
 // Boolean knob: 0/false/off -> false, 1/true/on -> true (case-sensitive,
 // matching the documented spellings). Unset -> def; anything else -> warning
 // + def.

@@ -1,16 +1,17 @@
 #include "common/log.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
+
+#include "common/env.hpp"
 
 namespace plt {
 
 int log_level() {
-  static const int level = [] {
-    if (const char* env = std::getenv("PLT_LOG_LEVEL")) return std::atoi(env);
-    return 1;  // warnings and errors by default
-  }();
+  // quiet: warning about a malformed value would re-enter this function
+  // while the static is still initializing. 1 = warnings and errors.
+  static const int level =
+      static_cast<int>(common::env_int_quiet("PLT_LOG_LEVEL", 1, 0, 3));
   return level;
 }
 

@@ -43,7 +43,10 @@ inline const char* status_code_name(StatusCode c) {
   return "UNKNOWN";
 }
 
-class Status {
+// [[nodiscard]]: a dropped Status is a silently-swallowed failure, exactly
+// the bug class the serving stack's firewalls exist to prevent. Call sites
+// that legitimately ignore one must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(StatusCode code, std::string message)
@@ -120,7 +123,7 @@ inline Status status_from_exception(const std::exception& e) {
 // Status + value, for lookups that can fail (ModelRegistry::lookup). Minimal
 // on purpose: value() requires ok() (checked), no exception-based accessors.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status st) : status_(std::move(st)) {}        // NOLINT(runtime/explicit)
   StatusOr(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)

@@ -118,6 +118,34 @@ void FcLayer::forward(const float* input, float* output) const {
   forward_tokens(input, cfg_.tokens, output);
 }
 
+namespace {
+
+// Footprints of one (ik, im, is) forward invocation: the bm x bn output tile
+// (ld = out_features) is read-modify-written across the K reduction, the
+// pre-activation stash is written on the last K step (over-approximated as
+// every step, per the AccessMap contract), weights and the input panel are
+// read-only.
+parlooper::AccessMap fc_access_map(const FcConfig& cfg, std::int64_t bn) {
+  const std::int64_t Kb = cfg.in_features / cfg.bk;
+  const std::int64_t a_blk = cfg.dtype == DType::BF16
+                                 ? tpp::vnni2_elems(cfg.bm, cfg.bk)
+                                 : cfg.bm * cfg.bk;
+  parlooper::AccessMap access;
+  access
+      .add_write("out", {0, cfg.bm, bn * cfg.out_features}, cfg.bm, bn,
+                 cfg.out_features)
+      .add_read("out", {0, cfg.bm, bn * cfg.out_features}, cfg.bm, bn,
+                cfg.out_features)
+      .add_write("preact", {0, cfg.bm, bn * cfg.out_features}, cfg.bm, bn,
+                 cfg.out_features)
+      .add_read("weights", {a_blk, Kb * a_blk, 0}, a_blk)
+      .add_read("in", {cfg.bk, 0, bn * cfg.in_features}, cfg.bk, bn,
+                cfg.in_features);
+  return access;
+}
+
+}  // namespace
+
 // The compiled forward pipeline for one token count, built once per S and
 // memoized so the serving/decode hot path touches no cache-key machinery.
 struct FcLayer::TokenPlan {
@@ -154,7 +182,7 @@ struct FcLayer::TokenPlan {
         nest({parlooper::LoopSpecs{0, cfg.in_features / cfg.bk, 1},
               parlooper::LoopSpecs{0, cfg.out_features / cfg.bm, 1},
               parlooper::LoopSpecs{0, S / bn, 1}},
-             cfg.loop_spec, cfg.backend) {}
+             cfg.loop_spec, cfg.backend, fc_access_map(cfg, bn_in)) {}
 };
 
 FcLayer::~FcLayer() = default;

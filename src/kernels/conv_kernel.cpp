@@ -55,8 +55,34 @@ ConvKernel::ConvKernel(ConvConfig cfg)
       parlooper::LoopSpecs{0, cfg_.Q(), cfg_.w_step},     // e: output cols
       parlooper::LoopSpecs{0, cfg_.R, cfg_.R},            // f: filter rows
       parlooper::LoopSpecs{0, cfg_.S, cfg_.S}};           // g: filter cols
+  // Footprints of one (in, ic, ik, ih, iw, ir, is) invocation. The output
+  // block is read-modify-written (accumulation over the C-block loop); the
+  // weight read covers the c_step reduction blocks folded into the BRGEMM
+  // offsets; the input read over-approximates the strided R x S window with
+  // one contiguous span per reduction block (sound per the AccessMap
+  // contract — reads only matter against writes, and nothing writes input).
+  const std::int64_t Cb = cfg_.Cb(), Kb = cfg_.Kb();
+  const std::int64_t P = cfg_.P(), Q = cfg_.Q();
+  const std::int64_t Hp = cfg_.Hp(), Wp = cfg_.Wp();
+  const std::int64_t bc = cfg_.bc, bk = cfg_.bk, w_blk = w_block_elems_;
+  parlooper::AccessMap access;
+  access
+      .add_write("out", {Kb * P * Q * bk, 0, P * Q * bk, Q * bk, bk, 0, 0},
+                 cfg_.w_step * bk)
+      .add_read("out", {Kb * P * Q * bk, 0, P * Q * bk, Q * bk, bk, 0, 0},
+                cfg_.w_step * bk)
+      .add_read("weights",
+                {0, cfg_.R * cfg_.S * w_blk, Cb * cfg_.R * cfg_.S * w_blk, 0,
+                 0, cfg_.S * w_blk, w_blk},
+                cfg_.c_step * cfg_.R * cfg_.S * w_blk)
+      .add_read("in",
+                {Cb * Hp * Wp * bc, Hp * Wp * bc, 0, cfg_.stride_h * Wp * bc,
+                 cfg_.stride_w * bc, Wp * bc, bc},
+                (cfg_.R - 1) * Wp * bc +
+                    ((cfg_.w_step - 1) * cfg_.stride_w + cfg_.S) * bc,
+                cfg_.c_step, Hp * Wp * bc);
   loop_ = std::make_shared<const parlooper::LoopNest>(loops, cfg_.loop_spec,
-                                                      cfg_.backend);
+                                                      cfg_.backend, access);
 }
 
 ConvKernel ConvKernel::with_spec(const std::string& loop_spec) const {

@@ -34,9 +34,20 @@ GemmKernel::GemmKernel(GemmConfig cfg)
   PLT_CHECK(cfg_.Kb() % cfg_.k_step == 0, "gemm: k_step must divide Kb");
   PLT_CHECK(cfg_.dtype == DType::F32 || cfg_.dtype == DType::BF16,
             "gemm: f32 or bf16");
-  loop_ = std::make_shared<const parlooper::LoopNest>(make_loops(cfg_),
-                                                      cfg_.loop_spec,
-                                                      cfg_.backend);
+  // Footprints of one (ik, im, in) invocation, in block-layout elements:
+  // the C block is read-modify-written (K-reduction + epilogue), A/B blocks
+  // are read-only; k_step consecutive K blocks feed one BRGEMM call.
+  const std::int64_t Kb = cfg_.Kb(), Mb = cfg_.Mb();
+  const std::int64_t a_blk = a_block_elems_;
+  const std::int64_t b_blk = cfg_.bn * cfg_.bk;
+  const std::int64_t c_blk = cfg_.bn * cfg_.bm;
+  parlooper::AccessMap access;
+  access.add_write("C", {0, c_blk, Mb * c_blk}, c_blk)
+      .add_read("C", {0, c_blk, Mb * c_blk}, c_blk)
+      .add_read("A", {a_blk, Kb * a_blk, 0}, cfg_.k_step * a_blk)
+      .add_read("B", {b_blk, 0, Kb * b_blk}, cfg_.k_step * b_blk);
+  loop_ = std::make_shared<const parlooper::LoopNest>(
+      make_loops(cfg_), cfg_.loop_spec, cfg_.backend, access);
 }
 
 GemmKernel GemmKernel::with_spec(const std::string& loop_spec) const {

@@ -16,8 +16,14 @@ SpmmKernel::SpmmKernel(SpmmConfig cfg)
   std::vector<parlooper::LoopSpecs> loops = {
       parlooper::LoopSpecs{0, cfg_.Mb(), 1},
       parlooper::LoopSpecs{0, cfg_.Nb(), 1}};
+  // One (im, in) invocation writes a column-major bm x bn C tile (beta=0, so
+  // no C read) with leading dimension M, and reads a bn-column B panel.
+  parlooper::AccessMap access;
+  access
+      .add_write("C", {cfg_.bm, cfg_.bn * cfg_.M}, cfg_.bm, cfg_.bn, cfg_.M)
+      .add_read("B", {0, cfg_.bn * cfg_.K}, cfg_.bn * cfg_.K);
   loop_ = std::make_shared<const parlooper::LoopNest>(loops, cfg_.loop_spec,
-                                                      cfg_.backend);
+                                                      cfg_.backend, access);
 }
 
 void SpmmKernel::run(const tpp::BcscMatrix& a, const void* b, float* c) const {

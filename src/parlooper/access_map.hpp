@@ -1,0 +1,80 @@
+// AccessMap: a static description of the memory footprint of one loop-nest
+// body invocation, attached to the nest-execution API by the kernels/dl
+// layers that own the body.
+//
+// The paper's safety claim — "parallelize aggressively without changing
+// results" — is only provable if the verifier (src/analysis/) knows what the
+// body touches. Each TensorAccess maps a logical-index tuple to an affine
+// footprint:
+//
+//   offset(ind) = base + sum_l coeffs[l] * ind[l]
+//   footprint   = union over r in [0, reps) of
+//                 [offset + r * rep_stride, offset + r * rep_stride + span)
+//
+// in elements of the named tensor. `span`/`reps`/`rep_stride` describe the
+// common blocked-tile shapes: a contiguous block is {span=bm*bn, reps=1}, a
+// bm x bn tile inside a column-major matrix with leading dimension ld is
+// {span=bm, reps=bn, rep_stride=ld}.
+//
+// The map is an OVER-approximation by contract: it must cover every element
+// the invocation can touch and may include elements touched only on some
+// invocations (e.g. an epilogue guarded by `ik == last`). Over-approximating
+// a write footprint can only make the race check stricter, never unsound.
+// Accesses with the same `tensor` name refer to the same buffer; an in/out
+// aliasing kernel must reuse one name so the verifier sees the conflict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plt::parlooper {
+
+struct TensorAccess {
+  std::string tensor;                // buffer identity (diagnostics + aliasing)
+  bool write = false;                // false = read-only access
+  std::int64_t base = 0;             // constant element offset
+  std::vector<std::int64_t> coeffs;  // per logical loop, element-offset factor
+  std::int64_t span = 1;             // contiguous elements per repetition
+  std::int64_t reps = 1;             // repetitions (tile columns)
+  std::int64_t rep_stride = 0;       // elements between repetitions
+};
+
+struct AccessMap {
+  std::vector<TensorAccess> accesses;
+
+  bool empty() const { return accesses.empty(); }
+
+  AccessMap& add_read(std::string tensor, std::vector<std::int64_t> coeffs,
+                      std::int64_t span, std::int64_t reps = 1,
+                      std::int64_t rep_stride = 0, std::int64_t base = 0) {
+    accesses.push_back(TensorAccess{std::move(tensor), false, base,
+                                    std::move(coeffs), span, reps, rep_stride});
+    return *this;
+  }
+  AccessMap& add_write(std::string tensor, std::vector<std::int64_t> coeffs,
+                       std::int64_t span, std::int64_t reps = 1,
+                       std::int64_t rep_stride = 0, std::int64_t base = 0) {
+    accesses.push_back(TensorAccess{std::move(tensor), true, base,
+                                    std::move(coeffs), span, reps, rep_stride});
+    return *this;
+  }
+
+  // Structural identity, used to deduplicate maps attached to a shared plan
+  // (two kernels with the same spec+bounds share a cached plan; each attach
+  // of an identical map is a no-op).
+  std::string signature() const {
+    std::string s;
+    for (const TensorAccess& a : accesses) {
+      s += a.tensor;
+      s += a.write ? "!w" : "!r";
+      s += std::to_string(a.base) + ":";
+      for (std::int64_t c : a.coeffs) s += std::to_string(c) + ",";
+      s += ";" + std::to_string(a.span) + "x" + std::to_string(a.reps) + "+" +
+           std::to_string(a.rep_stride) + "|";
+    }
+    return s;
+  }
+};
+
+}  // namespace plt::parlooper

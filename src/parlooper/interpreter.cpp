@@ -62,6 +62,18 @@ struct ThreadExec {
 
     if (lvl.group_head) {
       run_collapse_group(li);
+      // A barrier on the group's last member fires once the whole collapse
+      // group completes — mirroring the JIT backend, which emits the barrier
+      // after the group's closing brace. (Mid-group barriers are rejected by
+      // validate_spec; they could never fire a consistent number of times.)
+      const std::size_t gend = li + static_cast<std::size_t>(lvl.group_size);
+      if (plan.levels()[gend - 1].term.barrier_after) {
+        if (on_barrier != nullptr) {
+          (*on_barrier)();
+        } else if (!simulated) {
+          thread_barrier();
+        }
+      }
       return;
     }
 
@@ -172,8 +184,10 @@ void walk_program(const ThreadProgram& prog, int num_logical,
   }
 }
 
-// Records one thread's trace as a ThreadProgram.
-ThreadProgram record_program(const LoopNestPlan& plan, int tid, int nthreads) {
+}  // namespace
+
+ThreadProgram record_thread_program(const LoopNestPlan& plan, int tid,
+                                    int nthreads) {
   ThreadProgram prog;
   const int nlog = plan.num_logical();
   std::int64_t seg = 0;
@@ -193,7 +207,25 @@ ThreadProgram record_program(const LoopNestPlan& plan, int tid, int nthreads) {
   return prog;
 }
 
-}  // namespace
+std::vector<ThreadProgram> record_team_programs(const LoopNestPlan& plan,
+                                                int nthreads) {
+  std::vector<ThreadProgram> team;
+  team.reserve(static_cast<std::size_t>(nthreads));
+  std::size_t nsegs = 0;
+  for (int t = 0; t < nthreads; ++t) {
+    if (t > 0 && !plan.any_parallel()) {
+      // Serial nests execute on thread 0 only (mirrors simulate_thread);
+      // other members get an empty program with matching barrier structure.
+      ThreadProgram idle;
+      idle.seg_len.assign(nsegs, 0);
+      team.push_back(std::move(idle));
+      continue;
+    }
+    team.push_back(record_thread_program(plan, t, nthreads));
+    if (t == 0) nsegs = team[0].seg_len.size();
+  }
+  return team;
+}
 
 std::int64_t LoopNestPlan::flat_schedule_max_iters() {
   // 0 disables precompiled schedules entirely (forces the recursive walk).
@@ -218,25 +250,15 @@ const TeamSchedule* LoopNestPlan::team_schedule(int nthreads) const {
     if (s->nthreads == nthreads) return s;
   }
 
-  auto* sched = new TeamSchedule;
-  sched->nthreads = nthreads;
-  sched->threads.reserve(static_cast<std::size_t>(nthreads));
-  std::size_t nsegs = 0;
-  for (int t = 0; t < nthreads; ++t) {
-    if (t > 0 && !any_parallel_) {
-      // Serial nests execute on thread 0 only (mirrors simulate_thread);
-      // other members get an empty program with matching barrier structure.
-      ThreadProgram idle;
-      idle.seg_len.assign(nsegs, 0);
-      sched->threads.push_back(std::move(idle));
-      continue;
-    }
-    sched->threads.push_back(record_program(*this, t, nthreads));
-    if (t == 0) nsegs = sched->threads[0].seg_len.size();
-    PLT_ENSURE(sched->threads.back().seg_len.size() == nsegs,
-               StatusCode::kInternal,
+  std::vector<ThreadProgram> team = record_team_programs(*this, nthreads);
+  const std::size_t nsegs = team.empty() ? 0 : team[0].seg_len.size();
+  for (const ThreadProgram& prog : team) {
+    PLT_ENSURE(prog.seg_len.size() == nsegs, StatusCode::kInternal,
                "flat schedule: barrier count differs across threads");
   }
+  auto* sched = new TeamSchedule;
+  sched->nthreads = nthreads;
+  sched->threads = std::move(team);
   sched->next = head;
   schedules_.store(sched, std::memory_order_release);
   return sched;

@@ -33,4 +33,18 @@ void run_interpreter(const LoopNestPlan& plan, const BodyFn& body,
 void simulate_thread(const LoopNestPlan& plan, int tid, int nthreads,
                      const BodyFn& body);
 
+// Records, without executing any body, the exact ThreadProgram thread `tid`
+// of an nthreads-wide team runs: every invocation's logical-index tuple in
+// program order, segmented at barrier points. This is the raw material of
+// the static schedule verifier (src/analysis/) and of team_schedule().
+ThreadProgram record_thread_program(const LoopNestPlan& plan, int tid,
+                                    int nthreads);
+
+// Records the whole team, applying the serial-nest rule (a nest with no
+// parallel letters executes on thread 0 only; other members get an empty
+// program with matching barrier structure). Exactly the programs
+// team_schedule() would memoize, without the flat-schedule size gate.
+std::vector<ThreadProgram> record_team_programs(const LoopNestPlan& plan,
+                                                int nthreads);
+
 }  // namespace plt::parlooper

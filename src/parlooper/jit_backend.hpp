@@ -35,6 +35,16 @@ class JitLoop {
   void run(const LoopNestPlan& plan, const BodyFn& body, const VoidFn& init,
            const VoidFn& term) const;
 
+  // Replays the EMITTED partitioning for one simulated team member without
+  // spawning threads or running kernels: the compiled entry is driven with a
+  // recording body, and each emitted barrier call closes a segment. This is
+  // what the static verifier compares against the interpreter's
+  // record_thread_program to prove backend schedule equivalence. Note the
+  // generated code skips barrier calls when nthreads == 1 (they would be
+  // no-ops live), so single-thread recordings carry one segment.
+  ThreadProgram record_thread_program(const LoopNestPlan& plan, int tid,
+                                      int nthreads) const;
+
   // The generated translation unit (exposed for tests/documentation).
   static std::string generate_source(const LoopNestPlan& plan);
 

@@ -210,6 +210,19 @@ std::string validate_spec(const ParsedSpec& parsed,
     }
     if (t.parallel) below_parallel = true;
   }
+
+  // A barrier inside a collapse group can only fire after the whole group
+  // (both backends place it after the group's closing brace); a marker on a
+  // non-terminal member would be silently dropped, so reject it.
+  for (std::size_t i = 0; i + 1 < parsed.terms.size(); ++i) {
+    const LoopTerm& t = parsed.terms[i];
+    const LoopTerm& nx = parsed.terms[i + 1];
+    const bool t_grp = t.parallel && t.grid == GridAxis::kNone;
+    const bool nx_grp = nx.parallel && nx.grid == GridAxis::kNone;
+    if (t_grp && nx_grp && t.barrier_after) {
+      return "barrier '|' inside a collapse group must follow its last member";
+    }
+  }
   return "";
 }
 

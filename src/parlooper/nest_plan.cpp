@@ -86,4 +86,26 @@ std::string LoopNestPlan::structural_key() const {
   return plt::parlooper::structural_key(parsed_, num_logical());
 }
 
+bool LoopNestPlan::attach_access_map(const AccessMap& map) const {
+  if (map.empty()) return false;
+  for (const TensorAccess& a : map.accesses) {
+    PLT_CHECK(a.coeffs.size() == static_cast<std::size_t>(num_logical()),
+              "access map: one coefficient per logical loop");
+    PLT_CHECK(a.span >= 1 && a.reps >= 1, "access map: empty footprint");
+  }
+  const std::string sig = map.signature();
+  std::lock_guard<std::mutex> lock(access_mu_);
+  for (const std::string& s : access_signatures_) {
+    if (s == sig) return false;
+  }
+  access_signatures_.push_back(sig);
+  access_maps_.push_back(map);
+  return true;
+}
+
+std::vector<AccessMap> LoopNestPlan::access_maps() const {
+  std::lock_guard<std::mutex> lock(access_mu_);
+  return access_maps_;
+}
+
 }  // namespace plt::parlooper

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "parlooper/access_map.hpp"
 #include "parlooper/loop_spec.hpp"
 
 namespace plt::parlooper {
@@ -86,6 +87,14 @@ class LoopNestPlan {
   // Cache key covering the generated-code structure.
   std::string structural_key() const;
 
+  // Access maps attached by the plan's users (LoopNest construction sites).
+  // Plans are cached and shared, so several kernels with the same spec and
+  // bounds accumulate their (deduplicated) footprints here; the static
+  // verifier (src/analysis/) proves race-freedom against every attached map.
+  // Returns true when the map was new (not a structural duplicate).
+  bool attach_access_map(const AccessMap& map) const;
+  std::vector<AccessMap> access_maps() const;
+
   ~LoopNestPlan();
   LoopNestPlan(const LoopNestPlan&) = delete;
   LoopNestPlan& operator=(const LoopNestPlan&) = delete;
@@ -102,6 +111,10 @@ class LoopNestPlan {
 
   mutable std::atomic<const TeamSchedule*> schedules_{nullptr};
   mutable std::mutex schedule_build_mu_;
+
+  mutable std::mutex access_mu_;  // guards access_maps_/access_signatures_
+  mutable std::vector<AccessMap> access_maps_;
+  mutable std::vector<std::string> access_signatures_;
 };
 
 }  // namespace plt::parlooper

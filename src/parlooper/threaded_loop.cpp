@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "analysis/verifier.hpp"
 #include "common/env.hpp"
 #include "common/fault.hpp"
 #include "parlooper/jit_backend.hpp"
@@ -52,8 +53,15 @@ PlanCacheStats plan_cache_stats() {
   return PlanCacheStats{reg.hits, reg.misses};
 }
 
+void plan_cache_for_each(
+    const std::function<void(const LoopNestPlan&)>& visitor) {
+  PlanRegistry& reg = plan_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& [key, plan] : reg.map) visitor(*plan);
+}
+
 LoopNest::LoopNest(std::vector<LoopSpecs> loops, const std::string& spec_string,
-                   Backend backend) {
+                   Backend backend, const AccessMap& access) {
   const std::string key = plan_key(loops, spec_string);
   PlanRegistry& reg = plan_registry();
   {
@@ -71,6 +79,11 @@ LoopNest::LoopNest(std::vector<LoopSpecs> loops, const std::string& spec_string,
     if (inserted) ++reg.misses; else ++reg.hits;
     plan_ = it->second;
   }
+
+  if (!access.empty()) plan_->attach_access_map(access);
+  // Static verification hook (PLT_VERIFY_PLANS=1 warn / =2 fail); memoized
+  // per plan so cache hits with an already-proved map set return instantly.
+  analysis::maybe_verify_at_plan_compile(*plan_);
 
   const bool want_jit =
       backend == Backend::kJit ||

@@ -18,8 +18,10 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 
+#include "parlooper/access_map.hpp"
 #include "parlooper/interpreter.hpp"
 #include "parlooper/nest_plan.hpp"
 
@@ -29,8 +31,14 @@ enum class Backend { kAuto, kInterpreter, kJit };
 
 class LoopNest {
  public:
+  // `access` optionally declares the per-iteration tensor footprints of the
+  // body (see access_map.hpp); it is attached to the (shared, cached) plan
+  // and lets the static verifier prove race-freedom of the schedule. An
+  // empty map only disables the race check — coverage and backend
+  // equivalence are still provable. Construction also runs the
+  // PLT_VERIFY_PLANS compile-time verification hook.
   LoopNest(std::vector<LoopSpecs> loops, const std::string& spec_string,
-           Backend backend = Backend::kAuto);
+           Backend backend = Backend::kAuto, const AccessMap& access = {});
 
   void operator()(const BodyFn& body, const VoidFn& init = {},
                   const VoidFn& term = {}) const;
@@ -49,9 +57,10 @@ template <int N>
 class ThreadedLoop : public LoopNest {
  public:
   ThreadedLoop(std::array<LoopSpecs, static_cast<std::size_t>(N)> specs,
-               const std::string& spec_string, Backend backend = Backend::kAuto)
+               const std::string& spec_string, Backend backend = Backend::kAuto,
+               const AccessMap& access = {})
       : LoopNest(std::vector<LoopSpecs>(specs.begin(), specs.end()),
-                 spec_string, backend) {
+                 spec_string, backend, access) {
     static_assert(N >= 1 && N <= 26, "1..26 logical loops");
   }
 };
@@ -63,5 +72,12 @@ struct PlanCacheStats {
   std::uint64_t misses = 0;
 };
 PlanCacheStats plan_cache_stats();
+
+// Visits every cached plan under the registry lock (the visitor must not
+// construct nests). Lets tools/nest_lint sweep the static verifier over
+// everything the process instantiated — models register their real plans
+// (with attached access maps) simply by being constructed.
+void plan_cache_for_each(
+    const std::function<void(const LoopNestPlan&)>& visitor);
 
 }  // namespace plt::parlooper
