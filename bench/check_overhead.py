@@ -23,6 +23,15 @@ Decode-tail mode — priority classes + continuous LLM-decode batching:
   Latency-class LLM decode p95 on the mixed llm/bert tape must improve by
   >= min_ratio (default 1.3) with continuous batching on (priority classes +
   token-granular decode) vs the FIFO baseline.
+
+Overload mode — delay-gradient brownout + gradient shedding:
+    check_overhead.py --overload BENCH_serving.json [min_ratio]
+  Latency-class p95 under ~2x saturation (standing stepped-decode backlog)
+  must improve by >= min_ratio (default 1.2) with the delay-gradient
+  controller on (PLT_SERVE_TARGET_DELAY_USECS > 0: throughput brownout +
+  halved decode windows + gradient shed) vs the fixed queue-cap baseline.
+  Both sides run priority classes and continuous batching, so the gain is
+  attributable to overload control alone.
 """
 import json
 import sys
@@ -115,6 +124,31 @@ def check_decode_tail(path: str, min_ratio: float) -> int:
     return 0
 
 
+def check_overload(path: str, min_ratio: float) -> int:
+    with open(path) as f:
+        data = json.load(f)
+    values = {r["name"]: r.get("value") for r in data["records"]}
+    fixed = values.get("serving_overload_p95_fixed_us")
+    adaptive = values.get("serving_overload_p95_adaptive_us")
+    ratio = values.get("serving_overload_latency_p95_gain")
+    brownouts = values.get("serving_overload_brownouts")
+    if fixed is None or adaptive is None or ratio is None:
+        print(f"missing overload records in {path}: {sorted(values)}")
+        return 1
+    print(f"overload p95: fixed-cap={fixed:.1f}us "
+          f"delay-gradient={adaptive:.1f}us gain={ratio:.2f}x "
+          f"({int(brownouts or 0)} brownouts, required >= {min_ratio}x)")
+    if brownouts is not None and brownouts < 1:
+        print("FAIL: the delay-gradient controller never engaged (no "
+              "brownout transitions) — the scenario is not saturating")
+        return 1
+    if ratio < min_ratio:
+        print("FAIL: delay-gradient overload control lost its latency-class "
+              "p95 advantage over the fixed queue-cap baseline")
+        return 1
+    return 0
+
+
 def main() -> int:
     args = sys.argv[1:]
     serving = "--serving" in args
@@ -126,6 +160,9 @@ def main() -> int:
     decode_tail = "--decode-tail" in args
     if decode_tail:
         args.remove("--decode-tail")
+    overload = "--overload" in args
+    if overload:
+        args.remove("--overload")
     if serving:
         path = args[0] if args else "BENCH_serving.json"
         min_ratio = float(args[1]) if len(args) > 1 else 1.5
@@ -138,6 +175,10 @@ def main() -> int:
         path = args[0] if args else "BENCH_serving.json"
         min_ratio = float(args[1]) if len(args) > 1 else 1.3
         return check_decode_tail(path, min_ratio)
+    if overload:
+        path = args[0] if args else "BENCH_serving.json"
+        min_ratio = float(args[1]) if len(args) > 1 else 1.2
+        return check_overload(path, min_ratio)
     path = args[0] if args else "BENCH_micro_tpp.json"
     min_ratio = float(args[1]) if len(args) > 1 else 1.3
     return check_dispatch(path, min_ratio)

@@ -26,6 +26,7 @@
 #include "serving/model_registry.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/session.hpp"
+#include "serving/watchdog.hpp"
 
 using namespace plt;
 
@@ -67,10 +68,16 @@ int main(int argc, char** argv) {
               static_cast<long>(cfg.batch_usecs));
 
   serving::RequestScheduler scheduler(cfg);
+  // Supervision (PLT_WATCHDOG_USECS > 0): a wedged dispatcher — e.g. the
+  // dispatcher_stall chaos site — is quarantined, its sessions failed over,
+  // and its thread restarted instead of hanging the demo forever. Period 0
+  // (the default) never starts the thread.
+  serving::Watchdog watchdog(&scheduler, &registry);
   const auto sessions = registry.sessions();
-  std::printf("pool: %d threads, %d partitions; scheduler: %d shard(s)\n",
+  std::printf("pool: %d threads, %d partitions; scheduler: %d shard(s)%s\n",
               ThreadPool::instance().size(),
-              ThreadPool::instance().partitions(), scheduler.shard_count());
+              ThreadPool::instance().partitions(), scheduler.shard_count(),
+              watchdog.running() ? "; watchdog on" : "");
   for (const auto& s : sessions) {
     std::printf("  %-6s -> partition %d, default class %s\n",
                 s->name().c_str(), s->partition(),

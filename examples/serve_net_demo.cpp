@@ -33,6 +33,7 @@
 #include "serving/model_registry.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/session.hpp"
+#include "serving/watchdog.hpp"
 
 using namespace plt;
 
@@ -85,8 +86,42 @@ int main(int argc, char** argv) {
     std::printf("server failed to start: %s\n", up.to_string().c_str());
     return 1;
   }
-  std::printf("serving %zu models on 127.0.0.1:%d (%d scheduler shard(s))\n",
+  // SIGTERM/SIGINT -> Server::begin_drain(): the listen port is released
+  // immediately, in-flight requests flush to their terminal status, new
+  // submits on live connections answer UNAVAILABLE "draining".
+  server.install_signal_handlers();
+  // Supervision (PLT_WATCHDOG_USECS > 0): wedged shard dispatchers are
+  // quarantined/failed-over/restarted; the epoll loop gets a warn-only
+  // probe (the watchdog cannot restart what it does not own).
+  serving::Watchdog watchdog(&scheduler, &registry);
+  watchdog.add_probe(
+      "net.server", [&server] { return server.loop_epoch(); },
+      [&server] { return server.loop_backlog(); });
+  std::printf("serving %zu models on 127.0.0.1:%d (%d scheduler shard(s)); "
+              "SIGTERM/SIGINT drains gracefully\n",
               registry.size(), server.port(), scheduler.shard_count());
+
+  const auto print_stats = [&] {
+    const auto st = server.stats();
+    std::printf("\nserver stats: %llu conns, %llu frames, %llu responses, "
+                "%llu quota-rejected, %llu drain-rejected, %llu protocol "
+                "errors\n",
+                static_cast<unsigned long long>(st.accepted),
+                static_cast<unsigned long long>(st.frames),
+                static_cast<unsigned long long>(st.responses),
+                static_cast<unsigned long long>(st.quota_rejected),
+                static_cast<unsigned long long>(st.drain_rejected),
+                static_cast<unsigned long long>(st.protocol_errors));
+    const auto c = scheduler.counters();
+    std::printf("terminal accounting: %llu submitted = %llu completed + %llu "
+                "failed + %llu expired + %llu shed + %llu rejected\n",
+                static_cast<unsigned long long>(c.submitted),
+                static_cast<unsigned long long>(c.completed),
+                static_cast<unsigned long long>(c.failed),
+                static_cast<unsigned long long>(c.expired),
+                static_cast<unsigned long long>(c.shed),
+                static_cast<unsigned long long>(c.rejected));
+  };
 
   // --- mixed-tenant wire traffic ------------------------------------------
   constexpr int kClients = 4;
@@ -122,7 +157,7 @@ int main(int argc, char** argv) {
   }
 
   WallTimer t;
-  while (t.seconds() < run_seconds) {
+  while (t.seconds() < run_seconds && !server.draining()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   stop.store(true, std::memory_order_release);
@@ -133,6 +168,17 @@ int main(int argc, char** argv) {
               secs, kClients, static_cast<unsigned long long>(ok.load()),
               static_cast<unsigned long long>(not_ok.load()),
               ok.load() / secs);
+
+  if (server.draining()) {
+    // A signal arrived mid-run: begin_drain() already released the port and
+    // is flushing in-flight work. Skip the showcases and report the drain.
+    std::printf("\ndrain requested (SIGTERM/SIGINT): listen port released, "
+                "in-flight flushed, new submits answered UNAVAILABLE\n");
+    server.stop();
+    scheduler.shutdown();
+    print_stats();
+    return 0;
+  }
 
   // --- failure + quota + reload showcase ----------------------------------
   std::printf("\nwire status semantics (every code is "
@@ -219,23 +265,6 @@ int main(int argc, char** argv) {
 
   server.stop();
   scheduler.shutdown();
-
-  const auto st = server.stats();
-  std::printf("\nserver stats: %llu conns, %llu frames, %llu responses, %llu "
-              "quota-rejected, %llu protocol errors\n",
-              static_cast<unsigned long long>(st.accepted),
-              static_cast<unsigned long long>(st.frames),
-              static_cast<unsigned long long>(st.responses),
-              static_cast<unsigned long long>(st.quota_rejected),
-              static_cast<unsigned long long>(st.protocol_errors));
-  const auto c = scheduler.counters();
-  std::printf("terminal accounting: %llu submitted = %llu completed + %llu "
-              "failed + %llu expired + %llu shed + %llu rejected\n",
-              static_cast<unsigned long long>(c.submitted),
-              static_cast<unsigned long long>(c.completed),
-              static_cast<unsigned long long>(c.failed),
-              static_cast<unsigned long long>(c.expired),
-              static_cast<unsigned long long>(c.shed),
-              static_cast<unsigned long long>(c.rejected));
+  print_stats();
   return 0;
 }

@@ -20,6 +20,9 @@ struct SiteState {
   Kind kind = Kind::kNone;
   // Fire threshold in [0, 2^64): event fires iff mix(seed, site, n) < bar.
   std::uint64_t bar = 0;
+  // Fire cap (0 = unlimited): after max_fires injections the site goes
+  // quiet — `site:kind:1:1` is the deterministic "exactly once" chaos spec.
+  std::uint64_t max_fires = 0;
 
   std::atomic<std::uint64_t> evaluated{0};
   std::atomic<std::uint64_t> injected{0};
@@ -53,6 +56,8 @@ bool parse_site(const std::string& tok, Site* out) {
   else if (tok == "session_warmup") *out = Site::kSessionWarmup;
   else if (tok == "registry_lookup") *out = Site::kRegistryLookup;
   else if (tok == "net_write") *out = Site::kNetWrite;
+  else if (tok == "dispatcher_stall") *out = Site::kDispatcherStall;
+  else if (tok == "conn_accept") *out = Site::kConnAccept;
   else return false;
   return true;
 }
@@ -65,32 +70,46 @@ bool parse_kind(const std::string& tok, Kind* out) {
   return true;
 }
 
-// Applies one `site:kind:prob` triple; false (with a warning) on malformed
-// input — the site stays disarmed, it never half-arms.
+// Applies one `site:kind:prob[:max]` entry; false (with a warning) on
+// malformed input — the site stays disarmed, it never half-arms.
 bool apply_triple(Harness& h, const std::string& triple) {
   const std::size_t c1 = triple.find(':');
   const std::size_t c2 = c1 == std::string::npos ? std::string::npos
                                                  : triple.find(':', c1 + 1);
   if (c1 == std::string::npos || c2 == std::string::npos) return false;
+  const std::size_t c3 = triple.find(':', c2 + 1);
   Site site;
   Kind kind;
   if (!parse_site(triple.substr(0, c1), &site)) return false;
   if (!parse_kind(triple.substr(c1 + 1, c2 - c1 - 1), &kind)) return false;
+  const std::size_t prob_end = c3 == std::string::npos ? triple.size() : c3;
   double prob = -1.0;
   try {
     std::size_t used = 0;
-    prob = std::stod(triple.substr(c2 + 1), &used);
-    if (used != triple.size() - c2 - 1) return false;
+    prob = std::stod(triple.substr(c2 + 1, prob_end - c2 - 1), &used);
+    if (used != prob_end - c2 - 1) return false;
   } catch (...) {
     return false;
   }
   if (!(prob >= 0.0 && prob <= 1.0)) return false;
+  std::uint64_t max_fires = 0;  // 0 = unlimited
+  if (c3 != std::string::npos) {
+    try {
+      std::size_t used = 0;
+      const long long v = std::stoll(triple.substr(c3 + 1), &used);
+      if (used != triple.size() - c3 - 1 || v < 0) return false;
+      max_fires = static_cast<std::uint64_t>(v);
+    } catch (...) {
+      return false;
+    }
+  }
   SiteState& st = h.sites[static_cast<std::size_t>(site)];
   st.kind = prob > 0.0 ? kind : Kind::kNone;
   // prob 1.0 must always fire: saturate instead of wrapping to 0.
   st.bar = prob >= 1.0 ? ~0ull
                        : static_cast<std::uint64_t>(
                              prob * 18446744073709551616.0 /* 2^64 */);
+  st.max_fires = max_fires;
   return true;
 }
 
@@ -101,6 +120,7 @@ void configure_locked(Harness& h, const std::string& spec,
   for (SiteState& st : h.sites) {
     st.kind = Kind::kNone;
     st.bar = 0;
+    st.max_fires = 0;
     st.evaluated.store(0, std::memory_order_relaxed);
     st.injected.store(0, std::memory_order_relaxed);
   }
@@ -149,6 +169,8 @@ const char* site_name(Site s) {
     case Site::kSessionWarmup: return "session_warmup";
     case Site::kRegistryLookup: return "registry_lookup";
     case Site::kNetWrite: return "net_write";
+    case Site::kDispatcherStall: return "dispatcher_stall";
+    case Site::kConnAccept: return "conn_accept";
   }
   return "?";
 }
@@ -169,6 +191,16 @@ Kind should_inject(Site s) {
   const std::uint64_t u =
       mix(h.seed ^ (static_cast<std::uint64_t>(s) << 56) ^ n);
   if (u >= st.bar) return Kind::kNone;
+  if (st.max_fires != 0) {
+    // Capped site: the injected counter doubles as the fire budget, claimed
+    // with a CAS so it stays exact (tests assert injected == fires).
+    std::uint64_t cur = st.injected.load(std::memory_order_relaxed);
+    do {
+      if (cur >= st.max_fires) return Kind::kNone;
+    } while (!st.injected.compare_exchange_weak(cur, cur + 1,
+                                                std::memory_order_relaxed));
+    return st.kind;
+  }
   st.injected.fetch_add(1, std::memory_order_relaxed);
   return st.kind;
 }

@@ -1,8 +1,8 @@
 // Deterministic, seeded fault injection — the hook chaos tests, the CI
 // chaos job, and future retry/watchdog logic drive.
 //
-// Grammar (PLT_FAULT_SPEC): semicolon-separated `site:kind:prob` triples,
-// e.g.
+// Grammar (PLT_FAULT_SPEC): semicolon-separated `site:kind:prob[:max]`
+// entries, e.g.
 //
 //   PLT_FAULT_SPEC="kernel_exec:throw:0.01;queue_push:full:0.05"
 //   PLT_FAULT_SEED=42
@@ -10,11 +10,18 @@
 // Sites: kernel_exec (PARLOOPER nest dispatch), queue_push (serving
 // admission queue), session_warmup (Session::warmup), registry_lookup
 // (ModelRegistry::lookup), net_write (network server response writes: the
-// event loop's send path). Kinds: `throw` (plt::RuntimeError, kInternal),
-// `full`/`fail` (the site reports its non-exceptional failure: a full queue,
-// a failed lookup; at net_write, `full` forces a 1-byte short write — the
-// partial-write path — and `fail`/`throw` a connection reset). A malformed
-// triple warns and is dropped; it never arms.
+// event loop's send path), dispatcher_stall (a shard dispatcher wedges at
+// the top of its loop until the watchdog restarts it — any kind stalls),
+// conn_accept (the server closes a freshly-accepted connection at the
+// door — drives client retries/breakers). Kinds: `throw` (plt::RuntimeError,
+// kInternal), `full`/`fail` (the site reports its non-exceptional failure: a
+// full queue, a failed lookup; at net_write, `full` forces a 1-byte short
+// write — the partial-write path — and `fail`/`throw` a connection reset).
+// The optional 4th field caps the number of fires at the site (0 / absent =
+// unlimited): `dispatcher_stall:fail:1:1` stalls exactly the first
+// dispatcher iteration that evaluates the site and nothing after — the
+// deterministic single-fault the watchdog tests arm. A malformed entry
+// warns and is dropped; it never arms.
 //
 // Determinism. Each site keeps an atomic event counter; event n fires iff
 // splitmix64(seed ^ site ^ n) maps below the armed probability. For a fixed
@@ -38,8 +45,10 @@ enum class Site : int {
   kSessionWarmup = 2,
   kRegistryLookup = 3,
   kNetWrite = 4,
+  kDispatcherStall = 5,
+  kConnAccept = 6,
 };
-inline constexpr int kSiteCount = 5;
+inline constexpr int kSiteCount = 7;
 
 enum class Kind : int {
   kNone = 0,   // site not armed / did not fire

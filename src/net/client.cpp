@@ -4,21 +4,67 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
+
+#include "common/env.hpp"
 
 namespace plt::net {
 
+namespace {
+// splitmix64 finalizer: the deterministic jitter source. Seeded from
+// (request_id, attempt) so two clients retrying the same incident spread
+// out, while a test replaying the same ids sees the same schedule.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+ClientConfig ClientConfig::from_env() {
+  const ClientConfig def;
+  ClientConfig c;
+  c.timeout_usecs = common::env_int("PLT_NET_CLIENT_TIMEOUT_USECS",
+                                    def.timeout_usecs, 0, 600000000);
+  c.max_retries = static_cast<int>(
+      common::env_int("PLT_NET_CLIENT_RETRIES", def.max_retries, 0, 100));
+  c.backoff_usecs = common::env_int("PLT_NET_CLIENT_BACKOFF_USECS",
+                                    def.backoff_usecs, 0, 60000000);
+  c.breaker_fails = static_cast<int>(common::env_int(
+      "PLT_NET_CLIENT_BREAKER_FAILS", def.breaker_fails, 0, 1000000));
+  c.breaker_cooldown_usecs = common::env_int(
+      "PLT_NET_CLIENT_BREAKER_USECS", def.breaker_cooldown_usecs, 0,
+      600000000);
+  return c;
+}
+
+void Client::apply_timeouts() {
+  if (cfg_.timeout_usecs <= 0 || fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(cfg_.timeout_usecs / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(cfg_.timeout_usecs % 1000000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 Status Client::connect(const std::string& host, int port) {
   close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
     return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  apply_timeouts();  // SO_SNDTIMEO also bounds the blocking connect below
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -31,6 +77,7 @@ Status Client::connect(const std::string& host, int port) {
                                           std::to_string(port) + ": " +
                                           std::strerror(errno));
     close();
+    record_transport(false);
     return st;
   }
   return Status::Ok();
@@ -42,10 +89,8 @@ void Client::close() {
   read_buf_.clear();
 }
 
-Status Client::send_request(const RequestFrame& req) {
+Status Client::send_all(const std::vector<std::uint8_t>& bytes) {
   if (fd_ < 0) return Status::Unavailable("client not connected");
-  std::vector<std::uint8_t> bytes;
-  encode_request(req, &bytes);
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n =
@@ -55,12 +100,48 @@ Status Client::send_request(const RequestFrame& req) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_SNDTIMEO expired: the peer stopped draining its receive window.
+      // A half-sent frame is unrecoverable — close.
+      close();
+      return Status::DeadlineExceeded("send timed out");
+    }
     const Status st =
         Status::Unavailable(std::string("send: ") + std::strerror(errno));
     close();
     return st;
   }
   return Status::Ok();
+}
+
+Status Client::recv_some() {
+  std::uint8_t chunk[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      read_buf_.insert(read_buf_.end(), chunk, chunk + n);
+      return Status::Ok();
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired: a dead or wedged peer no longer blocks the
+      // caller forever. The stream may hold a torn frame — close.
+      close();
+      return Status::DeadlineExceeded("recv timed out");
+    }
+    const Status st = n == 0
+                          ? Status::Unavailable("connection closed by server")
+                          : Status::Unavailable(std::string("recv: ") +
+                                                std::strerror(errno));
+    close();
+    return st;
+  }
+}
+
+Status Client::send_request(const RequestFrame& req) {
+  std::vector<std::uint8_t> bytes;
+  encode_request(req, &bytes);
+  return send_all(bytes);
 }
 
 Status Client::recv_response(ResponseFrame* resp) {
@@ -75,8 +156,9 @@ Status Client::recv_response(ResponseFrame* resp) {
       const DecodeResult res = decode_response(
           read_buf_.data(), read_buf_.size(), resp, &consumed, &error);
       if (res == DecodeResult::kOk) {
-        read_buf_.erase(read_buf_.begin(),
-                        read_buf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+        read_buf_.erase(
+            read_buf_.begin(),
+            read_buf_.begin() + static_cast<std::ptrdiff_t>(consumed));
         return Status::Ok();
       }
       if (res == DecodeResult::kError) {
@@ -84,25 +166,131 @@ Status Client::recv_response(ResponseFrame* resp) {
         return Status::InvalidArgument("malformed response: " + error);
       }
     }
-    std::uint8_t chunk[64 * 1024];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n > 0) {
-      read_buf_.insert(read_buf_.end(), chunk, chunk + n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    const Status st = n == 0 ? Status::Unavailable("connection closed by server")
-                             : Status::Unavailable(std::string("recv: ") +
-                                                   std::strerror(errno));
-    close();
-    return st;
+    const Status st = recv_some();
+    if (!st.ok()) return st;
   }
 }
 
-Status Client::call(const RequestFrame& req, ResponseFrame* resp) {
-  Status st = send_request(req);
+Status Client::health(HealthResponseFrame* out, std::uint64_t request_id) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  HealthFrame probe;
+  probe.request_id = request_id;
+  std::vector<std::uint8_t> bytes;
+  encode_health_request(probe, &bytes);
+  Status st = send_all(bytes);
   if (!st.ok()) return st;
-  return recv_response(resp);
+  while (true) {
+    if (!read_buf_.empty()) {
+      std::uint16_t type = 0;
+      std::string error;
+      const DecodeResult peek =
+          peek_frame_type(read_buf_.data(), read_buf_.size(), &type, &error);
+      if (peek == DecodeResult::kError) {
+        close();
+        return Status::InvalidArgument("malformed response: " + error);
+      }
+      if (peek == DecodeResult::kOk) {
+        if (type != kFrameHealthResponse) {
+          close();
+          return Status::Internal(
+              "unexpected frame type " + std::to_string(type) +
+              " while awaiting health response (do not interleave health "
+              "probes with pipelined calls)");
+        }
+        std::size_t consumed = 0;
+        const DecodeResult res = decode_health_response(
+            read_buf_.data(), read_buf_.size(), out, &consumed, &error);
+        if (res == DecodeResult::kOk) {
+          read_buf_.erase(
+              read_buf_.begin(),
+              read_buf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+          return Status::Ok();
+        }
+        if (res == DecodeResult::kError) {
+          close();
+          return Status::InvalidArgument("malformed response: " + error);
+        }
+      }
+    }
+    st = recv_some();
+    if (!st.ok()) return st;
+  }
+}
+
+Status Client::breaker_admit() {
+  if (cfg_.breaker_fails <= 0 || !open_) return Status::Ok();
+  if (std::chrono::steady_clock::now() < open_until_) {
+    return Status::Unavailable("circuit breaker open");
+  }
+  return Status::Ok();  // half-open: let one probe through
+}
+
+void Client::record_transport(bool ok) {
+  if (ok) {
+    consecutive_fails_ = 0;
+    open_ = false;
+    return;
+  }
+  ++consecutive_fails_;
+  if (cfg_.breaker_fails <= 0 || consecutive_fails_ < cfg_.breaker_fails) {
+    return;
+  }
+  if (!open_) {
+    open_ = true;
+    ++breaker_trips_;
+  }
+  // A failed half-open probe lands here too: the cooldown re-arms without
+  // counting a fresh trip (it is the same incident).
+  open_until_ = std::chrono::steady_clock::now() +
+                std::chrono::microseconds(cfg_.breaker_cooldown_usecs);
+}
+
+bool Client::breaker_open() const { return open_; }
+
+Status Client::call_once(const RequestFrame& req, ResponseFrame* resp) {
+  const Status adm = breaker_admit();
+  if (!adm.ok()) return adm;  // fail-fast: no socket touch, no fail count
+  Status st = send_request(req);
+  if (st.ok()) st = recv_response(resp);
+  // The breaker watches the TRANSPORT only: a well-formed server refusal
+  // (shed, draining, over quota) proves the peer alive and must not open
+  // the circuit.
+  record_transport(st.ok());
+  return st;
+}
+
+Status Client::call(const RequestFrame& req, ResponseFrame* resp) {
+  Status st = call_once(req, resp);
+  for (int attempt = 0; attempt < cfg_.max_retries; ++attempt) {
+    const bool transport_retry =
+        !st.ok() && st.code() == StatusCode::kUnavailable;
+    const bool server_retry =
+        st.ok() && (resp->code == WireCode::kUnavailable ||
+                    resp->code == WireCode::kResourceExhausted);
+    if (!transport_retry && !server_retry) break;
+    ++retries_;
+    if (cfg_.backoff_usecs > 0) {
+      const std::int64_t base = cfg_.backoff_usecs
+                                << std::min(attempt, 20);
+      const std::uint64_t j = mix64(req.request_id * 1315423911ull +
+                                    static_cast<std::uint64_t>(attempt));
+      const double factor =
+          0.5 + static_cast<double>(j & 1023) / 1024.0;  // [0.5, 1.5)
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<std::int64_t>(static_cast<double>(base) * factor)));
+    }
+    if (!connected()) {
+      const Status cst = connect(host_, port_);
+      if (!cst.ok()) {
+        st = cst;
+        continue;
+      }
+    }
+    // Same request_id on purpose: requests are idempotent by id and the
+    // server dedups a replay of one it still owns.
+    st = call_once(req, resp);
+  }
+  return st;
 }
 
 }  // namespace plt::net

@@ -1,19 +1,38 @@
-// Blocking wire-protocol client: the counterpart of net::Server used by the
-// tests, the serve_net_demo example and the bench_net loadgen.
+// Wire-protocol client: the counterpart of net::Server used by the tests,
+// the serve_net_demo example and the bench_net loadgen.
 //
 // Two usage shapes:
-//   * call(req, &resp)            — one synchronous round trip.
+//   * call(req, &resp)            — one synchronous round trip, hardened:
+//     socket timeouts, bounded jittered-backoff retries, circuit breaker.
 //   * send_request / recv_response — pipelining: keep N requests in flight
 //     on one connection; responses come back in completion order and carry
 //     the request_id you sent, so the caller correlates by id, not order.
+//     The pipelined halves never retry (a replay would reorder the stream);
+//     they only honor the socket timeout.
 //
-// The client is deliberately dumb: blocking socket, full-frame reads via the
-// incremental wire decoder, no retries, no timeouts beyond the socket's.
-// Error handling is Status-first — a torn connection or malformed response
-// is kUnavailable/kInvalidArgument from the transport, distinct from the
+// Hardening (ClientConfig, all knobs env-tunable):
+//   * timeouts  — SO_RCVTIMEO/SO_SNDTIMEO from PLT_NET_CLIENT_TIMEOUT_USECS.
+//     A dead peer can no longer wedge recv() forever: the timed-out call
+//     returns kDeadlineExceeded and closes the connection (after a partial
+//     read the byte stream is unrecoverable).
+//   * retries   — call() retries kUnavailable / kResourceExhausted (both the
+//     transport's verdict and the server's) with jittered exponential
+//     backoff, reconnecting first if the connection died, and resends the
+//     SAME request_id: requests are idempotent by id, and the server dedups
+//     replays of a request it still has in flight. kDeadlineExceeded is NOT
+//     retried — the caller's clock, not ours.
+//   * breaker   — consecutive TRANSPORT failures (connect/send/recv, not
+//     server verdicts) open a per-connection circuit breaker; while open,
+//     call() fails fast with kUnavailable("circuit breaker open") instead of
+//     hammering a dead peer. After a cooldown one half-open probe is let
+//     through; success closes the breaker, failure re-opens it.
+//
+// Error model stays Status-first: a torn connection or malformed response is
+// kUnavailable/kInvalidArgument from the transport, distinct from the
 // SERVER's status which arrives inside a well-formed ResponseFrame.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -23,32 +42,96 @@
 
 namespace plt::net {
 
+struct ClientConfig {
+  // PLT_NET_CLIENT_TIMEOUT_USECS: socket send/recv timeout (SO_SNDTIMEO /
+  // SO_RCVTIMEO). 0 = block forever (the pre-hardening behavior).
+  std::int64_t timeout_usecs = 0;
+
+  // PLT_NET_CLIENT_RETRIES: max call() retries on kUnavailable /
+  // kResourceExhausted. 0 = single attempt, no retry.
+  int max_retries = 0;
+
+  // PLT_NET_CLIENT_BACKOFF_USECS: base backoff before retry k; the actual
+  // sleep is base * 2^k scaled by a deterministic jitter in [0.5, 1.5)
+  // derived from (request_id, k) — reproducible in tests, decorrelated
+  // across clients.
+  std::int64_t backoff_usecs = 1000;
+
+  // PLT_NET_CLIENT_BREAKER_FAILS: consecutive transport failures that trip
+  // the circuit breaker. 0 = breaker disabled.
+  int breaker_fails = 0;
+
+  // PLT_NET_CLIENT_BREAKER_USECS: open-state cooldown before the half-open
+  // probe is allowed through.
+  std::int64_t breaker_cooldown_usecs = 100000;
+
+  // Reads the PLT_NET_CLIENT_* knobs (range-validated; bad values warn and
+  // fall back to the defaults above).
+  static ClientConfig from_env();
+};
+
 class Client {
  public:
-  Client() = default;
+  Client() : Client(ClientConfig{}) {}
+  explicit Client(ClientConfig cfg) : cfg_(cfg) {}
   ~Client() { close(); }
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
+  const ClientConfig& config() const { return cfg_; }
+
   // Blocking TCP connect; kUnavailable on failure. Reconnecting an open
-  // client closes the old socket first.
+  // client closes the old socket first. Remembers host/port so a retry can
+  // re-establish the connection after the peer dropped it.
   Status connect(const std::string& host, int port);
   bool connected() const { return fd_ >= 0; }
   void close();
 
-  // One blocking round trip. Transport failures come back as a non-OK
-  // Status; the SERVER's verdict is resp->code either way.
+  // One round trip, with the retry/breaker policy above. Transport failures
+  // come back as a non-OK Status; the SERVER's verdict is resp->code either
+  // way (a retried-out UNAVAILABLE verdict returns OK with that code).
   Status call(const RequestFrame& req, ResponseFrame* resp);
 
   // Pipelined halves of call(). send_request returns once the whole frame
-  // is on the socket; recv_response blocks until one full response frame
-  // arrives (any request_id).
+  // is on the socket; recv_response blocks (up to the socket timeout) until
+  // one full response frame arrives (any request_id). Never retries.
   Status send_request(const RequestFrame& req);
   Status recv_response(ResponseFrame* resp);
 
+  // Health probe (wire v2): sends a kFrameHealth frame and waits for the
+  // matching health response. Not for use interleaved with pipelined call
+  // traffic on the same connection — a request response arriving while the
+  // probe waits is a caller protocol error (kInternal).
+  Status health(HealthResponseFrame* out, std::uint64_t request_id = 0);
+
+  // Observability for tests and loadgens.
+  std::uint64_t retries() const { return retries_; }        // retry attempts
+  std::uint64_t breaker_trips() const { return breaker_trips_; }
+  bool breaker_open() const;
+
  private:
+  // One un-retried round trip through the breaker.
+  Status call_once(const RequestFrame& req, ResponseFrame* resp);
+  // Breaker bookkeeping around a transport outcome.
+  Status breaker_admit();
+  void record_transport(bool ok);
+  void apply_timeouts();
+  // Blocking full-buffer send / single-chunk recv with the timeout ->
+  // kDeadlineExceeded mapping (both close the connection on any failure).
+  Status send_all(const std::vector<std::uint8_t>& bytes);
+  Status recv_some();
+
+  ClientConfig cfg_;
   int fd_ = -1;
   std::vector<std::uint8_t> read_buf_;  // bytes past the last decoded frame
+  std::string host_;
+  int port_ = 0;
+
+  int consecutive_fails_ = 0;
+  bool open_ = false;  // breaker state
+  std::chrono::steady_clock::time_point open_until_{};
+  std::uint64_t retries_ = 0;
+  std::uint64_t breaker_trips_ = 0;
 };
 
 }  // namespace plt::net

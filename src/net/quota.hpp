@@ -10,6 +10,16 @@
 // burst cap, one request costs one token. qps <= 0 disarms the quota (every
 // request admitted), so the default-off configuration costs one branch.
 //
+// The bucket map is BOUNDED (max_tenants): a tenant-id sweep — hostile or
+// just churny — cannot grow it without limit. At the cap, admitting a new
+// tenant first evicts by LRU, preferring a bucket whose idle accrual has
+// refilled it to the burst cap: evicting a full bucket is lossless, because
+// a later request from that tenant re-creates it full, which is exactly the
+// state it was evicted in. Only if none of the coldest few buckets is full
+// yet is the absolute LRU tail taken (its tenant gets a fresh full bucket
+// on return — a bounded, deliberate forgiveness, never unbounded memory).
+// Evictions are counted and exported via evicted().
+//
 // Thread-safety: the server only calls admit() from its event-loop thread,
 // but the mutex keeps the class safe for tests and future multi-loop servers
 // — it is never on the model-execution hot path.
@@ -19,6 +29,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 
@@ -28,10 +39,15 @@ class TenantQuota {
  public:
   // qps: sustained tokens/second per tenant (<= 0 = unlimited). burst: bucket
   // cap, i.e. the largest instantaneous spike admitted after idle accrual
-  // (<= 0 = same as qps, min 1).
-  explicit TenantQuota(double qps, double burst = 0.0)
+  // (<= 0 = same as qps, min 1). max_tenants: bucket-map cap (0 = unbounded,
+  // the pre-hardening behavior).
+  explicit TenantQuota(double qps, double burst = 0.0,
+                       std::size_t max_tenants = kDefaultMaxTenants)
       : qps_(qps),
-        burst_(qps <= 0 ? 0.0 : (burst > 0 ? burst : (qps < 1 ? 1.0 : qps))) {}
+        burst_(qps <= 0 ? 0.0 : (burst > 0 ? burst : (qps < 1 ? 1.0 : qps))),
+        max_tenants_(max_tenants) {}
+
+  static constexpr std::size_t kDefaultMaxTenants = 4096;
 
   bool enabled() const { return qps_ > 0; }
 
@@ -40,14 +56,22 @@ class TenantQuota {
   bool admit(std::uint64_t tenant, std::chrono::steady_clock::time_point now) {
     if (!enabled()) return true;
     std::lock_guard<std::mutex> g(mu_);
-    auto [it, inserted] = buckets_.try_emplace(tenant, Bucket{burst_, now});
-    Bucket& b = it->second;
-    if (!inserted) {
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      if (max_tenants_ > 0 && buckets_.size() >= max_tenants_) {
+        evict_locked(now);
+      }
+      lru_.push_front(tenant);
+      it = buckets_.emplace(tenant, Bucket{burst_, now, lru_.begin()}).first;
+    } else {
+      Bucket& b = it->second;
       const double dt =
           std::chrono::duration<double>(now - b.last_refill).count();
       b.tokens = std::min(burst_, b.tokens + dt * qps_);
       b.last_refill = now;
+      lru_.splice(lru_.begin(), lru_, b.lru);  // touched: most recent
     }
+    Bucket& b = it->second;
     if (b.tokens < 1.0) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return false;
@@ -63,19 +87,57 @@ class TenantQuota {
   std::uint64_t rejected() const {
     return rejected_.load(std::memory_order_relaxed);
   }
+  // Buckets evicted at the max_tenants cap.
+  std::uint64_t evicted() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+  std::size_t tracked_tenants() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return buckets_.size();
+  }
 
  private:
   struct Bucket {
     double tokens;
     std::chrono::steady_clock::time_point last_refill;
+    std::list<std::uint64_t>::iterator lru;
   };
+
+  // How far up from the LRU tail to look for a lossless (idle-full) victim
+  // before settling for the tail itself. Bounds the eviction cost per
+  // admit; under steady churn the tail IS long-idle, so one probe wins.
+  static constexpr int kEvictScan = 8;
+
+  void evict_locked(std::chrono::steady_clock::time_point now) {
+    if (lru_.empty()) return;
+    auto victim = std::prev(lru_.end());  // default: the coldest tenant
+    auto pos = victim;
+    for (int scanned = 0; scanned < kEvictScan; ++scanned) {
+      const auto bit = buckets_.find(*pos);
+      const double dt =
+          std::chrono::duration<double>(now - bit->second.last_refill)
+              .count();
+      if (bit->second.tokens + dt * qps_ >= burst_) {
+        victim = pos;  // idle long enough to be full again: lossless evict
+        break;
+      }
+      if (pos == lru_.begin()) break;
+      --pos;
+    }
+    buckets_.erase(*victim);
+    lru_.erase(victim);
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   const double qps_;
   const double burst_;
-  std::mutex mu_;
+  const std::size_t max_tenants_;
+  mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Bucket> buckets_;
+  std::list<std::uint64_t> lru_;  // front = most recently charged
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> evicted_{0};
 };
 
 }  // namespace plt::net

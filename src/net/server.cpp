@@ -8,8 +8,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 
 #include "common/env.hpp"
@@ -21,6 +23,23 @@ namespace plt::net {
 
 using steady_clock = std::chrono::steady_clock;
 
+namespace {
+// SIGTERM/SIGINT -> drain, async-signal-safe: the handler stores one flag
+// and writes one eventfd — both lock-free, no allocation, no logging. The
+// event loop translates the flag into begin_drain() on its next wakeup.
+std::atomic<bool> g_signal_drain{false};
+std::atomic<int> g_signal_wake_fd{-1};
+
+void drain_signal_handler(int /*signo*/) {
+  g_signal_drain.store(true, std::memory_order_seq_cst);
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(fd, &one, sizeof(one));
+  }
+}
+}  // namespace
+
 ServerConfig ServerConfig::from_env() {
   const ServerConfig def;
   ServerConfig c;
@@ -31,6 +50,8 @@ ServerConfig ServerConfig::from_env() {
       common::env_int("PLT_NET_TENANT_QPS", def.tenant_qps, 0, 100000000);
   c.tenant_burst =
       common::env_int("PLT_NET_TENANT_BURST", def.tenant_burst, 0, 100000000);
+  c.tenant_max =
+      common::env_int("PLT_NET_TENANT_MAX", def.tenant_max, 0, 100000000);
   return c;
 }
 
@@ -74,7 +95,8 @@ Server::Server(serving::ModelRegistry& registry,
       scheduler_(scheduler),
       cfg_(cfg),
       quota_(static_cast<double>(cfg.tenant_qps),
-             static_cast<double>(cfg.tenant_burst)) {}
+             static_cast<double>(cfg.tenant_burst),
+             static_cast<std::size_t>(cfg.tenant_max)) {}
 
 Server::~Server() { stop(); }
 
@@ -144,10 +166,34 @@ void Server::stop() {
     [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
   }
   if (loop_.joinable()) loop_.join();
+  // Un-register from the signal path before the eventfd closes; a later
+  // signal then only sets the flag (harmless) instead of writing a stale fd.
+  int expected = wake_fd_;
+  g_signal_wake_fd.compare_exchange_strong(expected, -1,
+                                           std::memory_order_seq_cst);
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
   listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+void Server::begin_drain() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (draining_.exchange(true, std::memory_order_seq_cst)) return;
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void Server::install_signal_handlers() {
+  g_signal_wake_fd.store(wake_fd_, std::memory_order_seq_cst);
+  struct sigaction sa {};
+  sa.sa_handler = &drain_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
 }
 
 Server::Stats Server::stats() const {
@@ -159,6 +205,10 @@ Server::Stats Server::stats() const {
   s.quota_rejected = quota_.rejected();
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.write_faults = write_faults_.load(std::memory_order_relaxed);
+  s.health_frames = health_frames_.load(std::memory_order_relaxed);
+  s.drain_rejected = drain_rejected_.load(std::memory_order_relaxed);
+  s.dup_rejected = dup_rejected_.load(std::memory_order_relaxed);
+  s.quota_evicted = quota_.evicted();
   return s;
 }
 
@@ -181,7 +231,17 @@ void Server::handle_accept() {
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error: nothing more to accept
+    if (common::fault::should_inject(common::fault::Site::kConnAccept) !=
+        common::fault::Kind::kNone) {
+      // Injected accept failure: the connection is slammed at the door
+      // before a single frame is read — the client sees a reset on its
+      // first recv and must reconnect + retry (the hardened-client path).
+      conn_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
     if (stopping_.load(std::memory_order_relaxed) ||
+        draining_.load(std::memory_order_relaxed) ||
         conns_.size() >= static_cast<std::size_t>(cfg_.max_conns)) {
       // At the connection cap the cheapest honest answer is a closed door:
       // no half-open connection ever queues frames we would have to shed.
@@ -257,23 +317,82 @@ bool Server::process_frames(Conn& c) {
   std::size_t off = 0;
   bool ok = true;
   while (off < c.read_buf.size() && !c.dead) {
-    RequestFrame frame;
+    const std::uint8_t* data = c.read_buf.data() + off;
+    const std::size_t avail = c.read_buf.size() - off;
     std::size_t consumed = 0;
     std::string error;
-    const DecodeResult res = decode_request(c.read_buf.data() + off,
-                                            c.read_buf.size() - off, &frame,
-                                            &consumed, &error);
-    if (res == DecodeResult::kNeedMore) break;
-    if (res == DecodeResult::kError) {
+
+    const auto protocol_error = [&](const std::string& detail) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       ResponseFrame err;
       err.request_id = 0;  // the frame was unparseable; no id to echo
       err.code = WireCode::kInvalidArgument;
-      err.message = "protocol error: " + error;
+      err.message = "protocol error: " + detail;
       std::vector<std::uint8_t> bytes;
       encode_response(err, &bytes);
       queue_response(c, std::move(bytes));
       ok = false;
+    };
+
+    // The server reads two frame kinds on one socket (requests + health
+    // probes): peek the validated type, then dispatch to the decoder.
+    std::uint16_t ftype = 0;
+    const DecodeResult peek = peek_frame_type(data, avail, &ftype, &error);
+    if (peek == DecodeResult::kNeedMore) break;
+    if (peek == DecodeResult::kError) {
+      protocol_error(error);
+      break;
+    }
+
+    if (ftype == kFrameHealth) {
+      HealthFrame probe;
+      const DecodeResult res =
+          decode_health_request(data, avail, &probe, &consumed, &error);
+      if (res == DecodeResult::kNeedMore) break;
+      if (res == DecodeResult::kError) {
+        protocol_error(error);
+        break;
+      }
+      off += consumed;
+      health_frames_.fetch_add(1, std::memory_order_relaxed);
+
+      HealthResponseFrame hr;
+      hr.request_id = probe.request_id;
+      hr.draining = draining_.load(std::memory_order_acquire) ||
+                    stopping_.load(std::memory_order_relaxed);
+      const serving::RequestScheduler::Counters ctr = scheduler_.counters();
+      hr.submitted = ctr.submitted;
+      hr.completed = ctr.completed;
+      hr.failed = ctr.failed;
+      hr.expired = ctr.expired;
+      hr.shed = ctr.shed;
+      hr.rejected = ctr.rejected;
+      const int nshards = std::min(scheduler_.shard_count(), 255);
+      for (int s = 0; s < nshards; ++s) {
+        ShardHealth sh;
+        sh.queue_depth = static_cast<std::uint32_t>(std::min<std::size_t>(
+            scheduler_.shard_backlog(s), 0xffffffffu));
+        sh.quarantined = scheduler_.shard_quarantined(s);
+        sh.overload_level = scheduler_.overload_level(s);
+        sh.heartbeat = scheduler_.shard_heartbeat(s);
+        hr.shards.push_back(sh);
+      }
+      std::vector<std::uint8_t> bytes;
+      encode_health_response(hr, &bytes);
+      queue_response(c, std::move(bytes));
+      continue;
+    }
+    if (ftype != kFrameRequest) {
+      protocol_error("unexpected frame type " + std::to_string(ftype));
+      break;
+    }
+
+    RequestFrame frame;
+    const DecodeResult res =
+        decode_request(data, avail, &frame, &consumed, &error);
+    if (res == DecodeResult::kNeedMore) break;
+    if (res == DecodeResult::kError) {
+      protocol_error(error);
       break;
     }
     off += consumed;
@@ -289,6 +408,14 @@ bool Server::process_frames(Conn& c) {
       queue_response(c, std::move(bytes));
     };
 
+    // Draining beats quota: a shutting-down server answers every submit
+    // kUnavailable without charging the tenant's bucket — the retry lands
+    // on the replacement process with a full allowance.
+    if (draining_.load(std::memory_order_acquire)) {
+      drain_rejected_.fetch_add(1, std::memory_order_relaxed);
+      reject(WireCode::kUnavailable, "draining");
+      continue;
+    }
     // Quota before anything else: an over-quota tenant must not cost a
     // registry lookup, an allocation, or a scheduler slot.
     if (!quota_.admit(frame.tenant_id, steady_clock::now())) {
@@ -316,6 +443,23 @@ bool Server::process_frames(Conn& c) {
       continue;
     }
 
+    // Replay dedup: a hardened client retries UNAVAILABLE/RESOURCE_EXHAUSTED
+    // with the SAME request id, possibly on a fresh connection while the
+    // original submit is still executing. Owning each (tenant, id) pair at
+    // most once keeps the retry from double-executing; the replay is told
+    // kUnavailable and the client's next backoff retry lands after the
+    // original resolved.
+    {
+      std::lock_guard<std::mutex> g(inflight_mu_);
+      if (!inflight_ids_[frame.tenant_id].insert(frame.request_id).second) {
+        dup_rejected_.fetch_add(1, std::memory_order_relaxed);
+        reject(WireCode::kUnavailable,
+               "request " + std::to_string(frame.request_id) +
+                   " already in flight (replay)");
+        continue;
+      }
+    }
+
     auto ctx = std::make_shared<InFlightCtx>();
     ctx->in = std::move(frame.payload);
     ctx->out.resize(static_cast<std::size_t>(session->output_elems()));
@@ -327,8 +471,10 @@ bool Server::process_frames(Conn& c) {
     req.deadline_usecs = frame.deadline_usecs < -1 ? -1 : frame.deadline_usecs;
     const std::uint64_t conn_id = c.id;
     const std::uint64_t request_id = frame.request_id;
+    const std::uint64_t tenant_id = frame.tenant_id;
     in_flight_.fetch_add(1, std::memory_order_seq_cst);
-    req.on_done = [this, ctx, conn_id, request_id](const Status& st) {
+    req.on_done = [this, ctx, conn_id, request_id,
+                   tenant_id](const Status& st) {
       // Runs on whichever thread resolved the request (dispatcher, or this
       // loop thread for an immediate refusal): encode, enqueue for the loop,
       // ring the eventfd. The wire layer serializes handle.status() 1:1 —
@@ -343,12 +489,24 @@ bool Server::process_frames(Conn& c) {
                            ? st.message().substr(0, kMaxMessageLen)
                            : st.message();
       }
+      // Release the dedup slot BEFORE the response is visible: once the
+      // client can observe the outcome, an identically-numbered retry is a
+      // fresh idempotent execution, not a replay of one we still own.
+      {
+        std::lock_guard<std::mutex> g(inflight_mu_);
+        const auto tit = inflight_ids_.find(tenant_id);
+        if (tit != inflight_ids_.end()) {
+          tit->second.erase(request_id);
+          if (tit->second.empty()) inflight_ids_.erase(tit);
+        }
+      }
       Completion done;
       done.conn_id = conn_id;
       encode_response(resp, &done.bytes);
       {
         std::lock_guard<std::mutex> g(completions_mu_);
         completions_.push_back(std::move(done));
+        completions_pending_.fetch_add(1, std::memory_order_relaxed);
       }
       const std::uint64_t one = 1;
       [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
@@ -416,6 +574,7 @@ void Server::drain_completions() {
   {
     std::lock_guard<std::mutex> g(completions_mu_);
     batch.swap(completions_);
+    completions_pending_.fetch_sub(batch.size(), std::memory_order_relaxed);
   }
   for (auto& done : batch) {
     const auto it = conns_.find(done.conn_id);
@@ -429,16 +588,38 @@ void Server::loop_main() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   steady_clock::time_point drain_deadline{};
-  bool draining = false;
+  bool draining = false;   // drain entered (graceful begin_drain or stop)
+  bool reads_off = false;  // hard stop: EPOLLIN disarmed on every conn
   while (true) {
-    if (stopping_.load(std::memory_order_seq_cst)) {
+    loop_epoch_.fetch_add(1, std::memory_order_relaxed);
+    if (g_signal_drain.exchange(false, std::memory_order_seq_cst)) {
+      PLT_LOG_INFO << "net: drain requested by signal";
+      draining_.store(true, std::memory_order_seq_cst);
+    }
+    const bool stopping = stopping_.load(std::memory_order_seq_cst);
+    if (stopping || draining_.load(std::memory_order_seq_cst)) {
       if (!draining) {
         draining = true;
         // Grace window for the flush: every in-flight request must resolve
         // (the scheduler guarantees it) and its response reach the socket,
         // but a client that never reads cannot wedge shutdown forever.
         drain_deadline = steady_clock::now() + std::chrono::seconds(5);
-        for (auto& entry : conns_) update_epoll(*entry.second);  // reads off
+        // Release the port up front: a replacement process can bind while
+        // this one is still flushing responses.
+        if (listen_fd_ >= 0) {
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          ::close(listen_fd_);
+          listen_fd_ = -1;
+        }
+        PLT_LOG_INFO << "net: draining (" << conns_.size()
+                     << " conns, in_flight="
+                     << in_flight_.load(std::memory_order_relaxed) << ")";
+      }
+      if (stopping && !reads_off) {
+        // stop() semantics on top of a drain: reads off — no more frames,
+        // not even health probes or UNAVAILABLE answers.
+        reads_off = true;
+        for (auto& entry : conns_) update_epoll(*entry.second);
       }
       drain_completions();
       bool writes_pending = false;

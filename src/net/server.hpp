@@ -26,7 +26,20 @@
 // Malformed frames (bad magic/version/oversized length) poison the byte
 // stream and close the connection after a best-effort error response; the
 // net_write fault site injects short writes and connection resets on the
-// response path for chaos coverage.
+// response path, and the conn_accept site closes accepted connections at
+// the door, for chaos coverage.
+//
+// Health + drain (wire v2): a kFrameHealth probe on any connection is
+// answered inline with the scheduler's terminal-accounting counters, every
+// shard's liveness record (queue depth / quarantine / overload level /
+// heartbeat) and the server's draining flag. begin_drain() — also reachable
+// via SIGTERM/SIGINT once install_signal_handlers() ran — releases the
+// listen port immediately, answers every NEW submit kUnavailable
+// ("draining"), keeps serving health probes, flushes all in-flight
+// responses, then exits the loop. Replayed request ids (a hardened client
+// retrying on a fresh connection) are deduplicated while the original is
+// still in flight, so a retry never double-executes a request the server
+// already owns.
 #pragma once
 
 #include <atomic>
@@ -35,6 +48,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.hpp"
@@ -57,6 +71,10 @@ struct ServerConfig {
   std::int64_t tenant_qps = 0;
   // PLT_NET_TENANT_BURST: token-bucket burst cap (0 = same as tenant_qps).
   std::int64_t tenant_burst = 0;
+  // PLT_NET_TENANT_MAX: bound on tracked tenant buckets; at the cap the
+  // LRU bucket is evicted (idle-full preferred — see quota.hpp). 0 =
+  // unbounded.
+  std::int64_t tenant_max = 4096;
 
   // Reads the PLT_NET_* environment knobs (range-validated; bad values warn
   // and fall back to the defaults above).
@@ -86,6 +104,32 @@ class Server {
   // best-effort, closes every connection, joins the loop. Idempotent.
   void stop();
 
+  // Graceful drain, the SIGTERM semantics: release the listen port (a
+  // replacement can bind while we flush), answer every new submit
+  // kUnavailable with message "draining" (health probes still served, with
+  // the draining flag set), flush every in-flight response, then exit the
+  // event loop. Non-blocking and idempotent; callers still invoke stop()
+  // to join the loop thread and close the epoll/eventfd descriptors.
+  void begin_drain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  // Routes SIGTERM/SIGINT to begin_drain() through an async-signal-safe
+  // handler (an atomic flag plus an eventfd write — no locks, no
+  // allocation in the handler). Process-wide: the most recently installed
+  // server owns the signals. Call after start().
+  void install_signal_handlers();
+
+  // Liveness surface for a warn-only serving::Watchdog probe: the epoch
+  // advances once per event-loop iteration; the backlog is the number of
+  // queued completions the loop has not drained yet. A frozen epoch with a
+  // non-zero backlog is the stalled-loop signature.
+  std::uint64_t loop_epoch() const {
+    return loop_epoch_.load(std::memory_order_relaxed);
+  }
+  std::size_t loop_backlog() const {
+    return completions_pending_.load(std::memory_order_relaxed);
+  }
+
   // Actual bound port (resolves cfg.port == 0), valid after start().
   int port() const { return port_; }
 
@@ -97,6 +141,10 @@ class Server {
     std::uint64_t quota_rejected = 0;   // RESOURCE_EXHAUSTED before submit
     std::uint64_t protocol_errors = 0;  // malformed frames (conn closed)
     std::uint64_t write_faults = 0;     // net_write injected resets
+    std::uint64_t health_frames = 0;    // health probes answered
+    std::uint64_t drain_rejected = 0;   // submits refused while draining
+    std::uint64_t dup_rejected = 0;     // replayed ids refused in flight
+    std::uint64_t quota_evicted = 0;    // tenant buckets evicted at the cap
   };
   Stats stats() const;
 
@@ -134,18 +182,32 @@ class Server {
 
   std::mutex completions_mu_;
   std::vector<Completion> completions_;
+  std::atomic<std::size_t> completions_pending_{0};  // queued, not drained
+
+  // In-flight replay dedup: (tenant, request_id) pairs the scheduler owns
+  // right now. Inserted before submit, erased by on_done before the
+  // completion is queued — a retry that arrives after the response was
+  // queued is a fresh (idempotent) execution, never a duplicate in flight.
+  std::mutex inflight_mu_;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
+      inflight_ids_;
 
   std::atomic<std::uint64_t> in_flight_{0};  // submitted, on_done not yet run
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
   std::thread loop_;
 
+  std::atomic<std::uint64_t> loop_epoch_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> conn_rejected_{0};
   std::atomic<std::uint64_t> frames_{0};
   std::atomic<std::uint64_t> responses_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> write_faults_{0};
+  std::atomic<std::uint64_t> health_frames_{0};
+  std::atomic<std::uint64_t> drain_rejected_{0};
+  std::atomic<std::uint64_t> dup_rejected_{0};
 };
 
 }  // namespace plt::net

@@ -120,6 +120,23 @@ const char* wire_code_name(WireCode c) {
   return status_code_name(sc);
 }
 
+DecodeResult peek_frame_type(const std::uint8_t* data, std::size_t len,
+                             std::uint16_t* type, std::string* error) {
+  if (len < 8) return DecodeResult::kNeedMore;
+  if (load_u32(data) != kWireMagic) {
+    *error = "bad magic (not a PLTW frame)";
+    return DecodeResult::kError;
+  }
+  const std::uint16_t version = load_u16(data + 4);
+  if (version != kWireVersion) {
+    *error = "wire version mismatch: got " + std::to_string(version) +
+             ", want " + std::to_string(kWireVersion);
+    return DecodeResult::kError;
+  }
+  *type = load_u16(data + 6);
+  return DecodeResult::kOk;
+}
+
 void encode_request(const RequestFrame& f, std::vector<std::uint8_t>* out) {
   const std::size_t payload_bytes = f.payload.size() * 4;
   out->reserve(out->size() + kRequestHeaderBytes + f.name.size() +
@@ -150,6 +167,90 @@ void encode_response(const ResponseFrame& f, std::vector<std::uint8_t>* out) {
   store_u32(out, static_cast<std::uint32_t>(payload_bytes));
   out->insert(out->end(), f.message.begin(), f.message.end());
   store_f32_payload(out, f.payload);
+}
+
+void encode_health_request(const HealthFrame& f,
+                           std::vector<std::uint8_t>* out) {
+  out->reserve(out->size() + kHealthRequestBytes);
+  store_u32(out, kWireMagic);
+  store_u16(out, kWireVersion);
+  store_u16(out, kFrameHealth);
+  store_u64(out, f.request_id);
+}
+
+void encode_health_response(const HealthResponseFrame& f,
+                            std::vector<std::uint8_t>* out) {
+  const std::size_t n_shards = std::min<std::size_t>(f.shards.size(), 255);
+  out->reserve(out->size() + kHealthResponseHeaderBytes + kHealthCounterBytes +
+               n_shards * kHealthShardRecordBytes);
+  store_u32(out, kWireMagic);
+  store_u16(out, kWireVersion);
+  store_u16(out, kFrameHealthResponse);
+  store_u64(out, f.request_id);
+  out->push_back(f.draining ? 1 : 0);
+  out->push_back(static_cast<std::uint8_t>(n_shards));
+  for (int i = 0; i < 6; ++i) out->push_back(0);  // reserved
+  store_u64(out, f.submitted);
+  store_u64(out, f.completed);
+  store_u64(out, f.failed);
+  store_u64(out, f.expired);
+  store_u64(out, f.shed);
+  store_u64(out, f.rejected);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    const ShardHealth& sh = f.shards[i];
+    store_u32(out, sh.queue_depth);
+    std::uint32_t flags = sh.quarantined ? 1u : 0u;
+    flags |= (static_cast<std::uint32_t>(sh.overload_level) & 0x3u) << 1;
+    store_u32(out, flags);
+    store_u64(out, sh.heartbeat);
+  }
+}
+
+DecodeResult decode_health_request(const std::uint8_t* data, std::size_t len,
+                                   HealthFrame* out, std::size_t* consumed,
+                                   std::string* error) {
+  if (len < kHealthRequestBytes) return DecodeResult::kNeedMore;
+  const DecodeResult pre = check_prefix(data, kFrameHealth, error);
+  if (pre != DecodeResult::kOk) return pre;
+  out->request_id = load_u64(data + 8);
+  *consumed = kHealthRequestBytes;
+  return DecodeResult::kOk;
+}
+
+DecodeResult decode_health_response(const std::uint8_t* data, std::size_t len,
+                                    HealthResponseFrame* out,
+                                    std::size_t* consumed,
+                                    std::string* error) {
+  if (len < kHealthResponseHeaderBytes) return DecodeResult::kNeedMore;
+  const DecodeResult pre = check_prefix(data, kFrameHealthResponse, error);
+  if (pre != DecodeResult::kOk) return pre;
+  // shard_count is a u8, so the frame size is bounded by construction —
+  // no adversarial length to cap here.
+  const std::size_t n_shards = data[17];
+  const std::size_t total = kHealthResponseHeaderBytes + kHealthCounterBytes +
+                            n_shards * kHealthShardRecordBytes;
+  if (len < total) return DecodeResult::kNeedMore;
+  out->request_id = load_u64(data + 8);
+  out->draining = data[16] != 0;
+  const std::uint8_t* c = data + kHealthResponseHeaderBytes;
+  out->submitted = load_u64(c);
+  out->completed = load_u64(c + 8);
+  out->failed = load_u64(c + 16);
+  out->expired = load_u64(c + 24);
+  out->shed = load_u64(c + 32);
+  out->rejected = load_u64(c + 40);
+  out->shards.resize(n_shards);
+  const std::uint8_t* rec = c + kHealthCounterBytes;
+  for (std::size_t i = 0; i < n_shards; ++i, rec += kHealthShardRecordBytes) {
+    ShardHealth& sh = out->shards[i];
+    sh.queue_depth = load_u32(rec);
+    const std::uint32_t flags = load_u32(rec + 4);
+    sh.quarantined = (flags & 1u) != 0;
+    sh.overload_level = static_cast<int>((flags >> 1) & 0x3u);
+    sh.heartbeat = load_u64(rec + 8);
+  }
+  *consumed = total;
+  return DecodeResult::kOk;
 }
 
 DecodeResult decode_request(const std::uint8_t* data, std::size_t len,

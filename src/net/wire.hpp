@@ -25,10 +25,32 @@
 //     [18..19]  u16  msg_len          UTF-8 status detail (<= kMaxMessageLen)
 //     [20..23]  u32  payload_len      output bytes (0 on any non-OK status)
 //
-// Decoding is incremental: decode_request/decode_response return kNeedMore
-// until a full frame is buffered, and validate every length field BEFORE
-// allocating for it — an adversarial 4 GB length prefix is rejected from the
-// 40 header bytes alone, it never reserves memory.
+//   health request (16 bytes, header only — version 2):
+//     [ 0..3 ]  u32  magic
+//     [ 4..5 ]  u16  version
+//     [ 6..7 ]  u16  type             3 = health probe
+//     [ 8..15]  u64  request_id       echoed in the health response
+//
+//   health response (header 24 bytes, then 6 u64 terminal counters, then
+//   shard_count 16-byte shard records — version 2):
+//     [ 0..3 ]  u32  magic
+//     [ 4..5 ]  u16  version
+//     [ 6..7 ]  u16  type             4 = health response
+//     [ 8..15]  u64  request_id
+//     [16]      u8   draining         1 once Server::begin_drain() ran
+//     [17]      u8   shard_count      shard records that follow the counters
+//     [18..23]       reserved (zero)
+//     counters: submitted, completed, failed, expired, shed, rejected (u64
+//     each — the PR 6 terminal-accounting sextuple)
+//     per shard: u32 queue_depth, u32 flags (bit 0 quarantined, bits 1-2
+//     overload level), u64 heartbeat
+//
+// Decoding is incremental: the decode_* functions return kNeedMore until a
+// full frame is buffered, and validate every length field BEFORE allocating
+// for it — an adversarial 4 GB length prefix is rejected from the header
+// bytes alone, it never reserves memory. Streams that multiplex frame types
+// (the server reads requests and health probes on one socket) peek the type
+// with peek_frame_type and dispatch to the matching decoder.
 #pragma once
 
 #include <cstdint>
@@ -40,12 +62,21 @@
 namespace plt::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x57544C50u;  // "PLTW"
-inline constexpr std::uint16_t kWireVersion = 1;
+// Version 2 added the health/drain surface (frame types 3 and 4). A v1 peer
+// is rejected at check_prefix — the handshake-free protocol relies on
+// version equality, and status_from_wire_code already rejects unknown codes.
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::uint16_t kFrameRequest = 1;
 inline constexpr std::uint16_t kFrameResponse = 2;
+inline constexpr std::uint16_t kFrameHealth = 3;
+inline constexpr std::uint16_t kFrameHealthResponse = 4;
 
 inline constexpr std::size_t kRequestHeaderBytes = 40;
 inline constexpr std::size_t kResponseHeaderBytes = 24;
+inline constexpr std::size_t kHealthRequestBytes = 16;
+inline constexpr std::size_t kHealthResponseHeaderBytes = 24;
+inline constexpr std::size_t kHealthCounterBytes = 6 * 8;
+inline constexpr std::size_t kHealthShardRecordBytes = 16;
 inline constexpr std::size_t kMaxNameLen = 256;
 inline constexpr std::size_t kMaxMessageLen = 1024;
 // Upper bound on a frame's tensor payload. Large enough for every model the
@@ -92,10 +123,41 @@ struct ResponseFrame {
   std::vector<float> payload;  // output tensor, empty on any non-OK status
 };
 
+// Health probe (type 3): header-only, the id is echoed in the response.
+struct HealthFrame {
+  std::uint64_t request_id = 0;
+};
+
+// Per-shard liveness record inside a health response.
+struct ShardHealth {
+  std::uint32_t queue_depth = 0;  // admission queue + published pending
+  bool quarantined = false;
+  int overload_level = 0;         // 0 normal / 1 brownout / 2 shedding
+  std::uint64_t heartbeat = 0;    // dispatcher loop epoch
+};
+
+// Health response (type 4): the server's drain flag, the scheduler's
+// terminal-accounting counters, and one record per shard.
+struct HealthResponseFrame {
+  std::uint64_t request_id = 0;
+  bool draining = false;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::vector<ShardHealth> shards;  // <= 255 records (u8 count on the wire)
+};
+
 // Appends one encoded frame to *out (callers batch multiple frames into one
 // buffer for pipelined writes).
 void encode_request(const RequestFrame& f, std::vector<std::uint8_t>* out);
 void encode_response(const ResponseFrame& f, std::vector<std::uint8_t>* out);
+void encode_health_request(const HealthFrame& f,
+                           std::vector<std::uint8_t>* out);
+void encode_health_response(const HealthResponseFrame& f,
+                            std::vector<std::uint8_t>* out);
 
 enum class DecodeResult {
   kNeedMore,  // buffer holds a valid prefix of a frame; read more bytes
@@ -113,5 +175,17 @@ DecodeResult decode_request(const std::uint8_t* data, std::size_t len,
 DecodeResult decode_response(const std::uint8_t* data, std::size_t len,
                              ResponseFrame* out, std::size_t* consumed,
                              std::string* error);
+DecodeResult decode_health_request(const std::uint8_t* data, std::size_t len,
+                                   HealthFrame* out, std::size_t* consumed,
+                                   std::string* error);
+DecodeResult decode_health_response(const std::uint8_t* data, std::size_t len,
+                                    HealthResponseFrame* out,
+                                    std::size_t* consumed, std::string* error);
+
+// Validates the 8-byte prefix (magic + version) and reports the frame type,
+// for streams that multiplex frame kinds on one socket. kNeedMore below 8
+// buffered bytes; kError on a foreign or wrong-version stream.
+DecodeResult peek_frame_type(const std::uint8_t* data, std::size_t len,
+                             std::uint16_t* type, std::string* error);
 
 }  // namespace plt::net

@@ -1,6 +1,7 @@
 #include "serving/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.hpp"
 #include "common/env.hpp"
@@ -33,6 +34,8 @@ SchedulerConfig SchedulerConfig::from_env() {
   c.priority = common::env_flag("PLT_SERVE_PRIORITY", def.priority);
   c.decode_step_tokens = static_cast<int>(common::env_int(
       "PLT_SERVE_DECODE_STEP_TOKENS", def.decode_step_tokens, 0, 4096));
+  c.target_delay_usecs = common::env_int(
+      "PLT_SERVE_TARGET_DELAY_USECS", def.target_delay_usecs, 0, 60000000);
   return c;
 }
 
@@ -62,7 +65,7 @@ RequestScheduler::RequestScheduler(SchedulerConfig cfg) : cfg_(cfg) {
   }
   for (int s = 0; s < nshards; ++s) {
     shards_[static_cast<std::size_t>(s)]->dispatcher =
-        std::thread([this, s] { dispatcher_main(s); });
+        std::thread([this, s] { dispatcher_main(s, 0); });
   }
 }
 
@@ -155,9 +158,6 @@ RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
   PLT_CHECK(st->cls == RequestClass::kLatency ||
                 st->cls == RequestClass::kThroughput,
             "serving: request class must resolve to latency or throughput");
-  // Fixed decode granularity per scheduler, so every request of one session
-  // agrees on steps_total — a pending group is always step-homogeneous.
-  st->steps_total = std::max(1, session->step_count(cfg_.decode_step_tokens));
   const std::int64_t ddl = req.deadline_usecs >= 0
                                ? req.deadline_usecs
                                : cfg_.default_deadline_usecs;
@@ -177,9 +177,38 @@ RequestHandle RequestScheduler::submit(const std::shared_ptr<Session>& session,
   }
 
   st->admitted = true;
-  const int s = shard_of(session.get());
+  int s = shard_of(session.get());
   const int nshards = shard_count();
+  if (shards_[static_cast<std::size_t>(s)]->quarantined.load(
+          std::memory_order_acquire)) {
+    // Watchdog quarantine: route this admission to the next healthy shard.
+    // It executes there under the established thief rules (session exec
+    // mutex + the thief's partition), so only locality is sacrificed — work
+    // already queued on the quarantined shard is drained by its restarted
+    // dispatcher, never dropped by the flag.
+    for (int k = 1; k < nshards; ++k) {
+      const int alt = (s + k) % nshards;
+      if (!shards_[static_cast<std::size_t>(alt)]->quarantined.load(
+              std::memory_order_acquire)) {
+        s = alt;
+        break;
+      }
+    }
+  }
   Shard& shard = *shards_[static_cast<std::size_t>(s)];
+  // Decode granularity, fixed for the request's lifetime. Normally the
+  // scheduler's configured window — so every request of one session agrees
+  // on steps_total and a pending group stays step-homogeneous — except
+  // under brownout, where new steppable requests get a halved window:
+  // smaller decode regions mean more frequent preemption points for
+  // latency-class work while the shard is overloaded.
+  int step_tokens = cfg_.decode_step_tokens;
+  if (step_tokens > 1 &&
+      shard.overload_level.load(std::memory_order_relaxed) >= 1) {
+    step_tokens /= 2;
+  }
+  st->step_tokens = step_tokens;
+  st->steps_total = std::max(1, session->step_count(step_tokens));
   while (true) {
     // The queue_push fault site simulates a full queue for one attempt
     // (kind is irrelevant here — any fire means "no space this round").
@@ -358,7 +387,7 @@ RequestScheduler::execute_steps(
       for (int i = tid; i < batch; i += nthreads) {
         try {
           session->run_step(rp[i]->lane, rp[i]->in, rp[i]->out, rp[i]->step,
-                            cfg_.decode_step_tokens);
+                            rp[i]->step_tokens);
         } catch (const std::exception& e) {
           rp[i]->status = status_from_exception(e);
         } catch (...) {
@@ -444,10 +473,13 @@ RequestScheduler::execute_steps(
   return survivors;
 }
 
-void RequestScheduler::dispatcher_main(int s) {
+void RequestScheduler::dispatcher_main(int s, std::uint64_t my_gen) {
   Shard& shard = *shards_[static_cast<std::size_t>(s)];
   const int nshards = shard_count();
   const bool can_steal = cfg_.steal && nshards > 1;
+  const auto stale = [&] {
+    return shard.generation.load(std::memory_order_acquire) != my_gen;
+  };
   if (runtime() == Runtime::kPool && nshards > 1) {
     // Keep this dispatcher's submit/wait loops resident on the node whose
     // sub-team executes its batches.
@@ -525,7 +557,10 @@ void RequestScheduler::dispatcher_main(int s) {
     return true;
   };
   const auto admit = [&](std::shared_ptr<detail::RequestState> r) {
-    if (r->has_deadline && steady_clock::now() >= r->deadline) {
+    // Only never-executed requests can expire here: a stepped request handed
+    // back through the queue by a replaced dispatcher is past step 0, holds
+    // a live lane and always runs to completion.
+    if (r->step == 0 && r->has_deadline && steady_clock::now() >= r->deadline) {
       complete_terminal(
           *r, Status::DeadlineExceeded("deadline passed while queued"));
       return;
@@ -541,6 +576,102 @@ void RequestScheduler::dispatcher_main(int s) {
     std::shared_ptr<detail::RequestState> r;
     while (shard.queue.try_pop(r)) admit(std::move(r));
   };
+
+  // ---- Delay-gradient overload controller (cfg_.target_delay_usecs > 0).
+  // CoDel-shaped: track the MINIMUM head-of-line sojourn of the standing
+  // backlog over a controller interval. If even the minimum stayed above the
+  // target, the backlog is not a transient burst — escalate one level
+  // (normal -> brownout -> gradient shed); once it dips below, de-escalate.
+  // Using the interval minimum (not the mean) is what makes bursts free:
+  // a queue that fully drains at any point in the interval resets to 0.
+  const bool adaptive = cfg_.target_delay_usecs > 0;
+  constexpr std::int64_t kNoSample = std::numeric_limits<std::int64_t>::max();
+  const auto interval = std::chrono::microseconds(
+      adaptive ? std::max<std::int64_t>(4 * cfg_.target_delay_usecs,
+                                        2 * cfg_.batch_usecs + 100)
+               : 0);
+  auto interval_end = steady_clock::now() + interval;
+  std::int64_t min_sojourn_us = kNoSample;
+  int level = 0;
+
+  // Level-2 relief valve: shed half of the throughput-class queued backlog,
+  // earliest-to-miss-deadline first (that work would expire unexecuted
+  // anyway — shedding it now frees capacity for requests that can still make
+  // their deadlines), deadline-less requests newest-first after. Latency-
+  // class and in-flight stepped requests are never gradient-shed.
+  const auto gradient_shed = [&] {
+    auto& shed_class = pending[nclasses - 1];
+    std::vector<std::shared_ptr<detail::RequestState>*> cand;
+    for (auto& entry : shed_class) {
+      for (auto& r : entry.second.reqs) {
+        if (r->step == 0) cand.push_back(&r);
+      }
+    }
+    if (cand.empty()) return;
+    const std::size_t n_shed = std::max<std::size_t>(1, cand.size() / 2);
+    std::sort(cand.begin(), cand.end(),
+              [](const std::shared_ptr<detail::RequestState>* a,
+                 const std::shared_ptr<detail::RequestState>* b) {
+                const detail::RequestState& ra = **a;
+                const detail::RequestState& rb = **b;
+                if (ra.has_deadline != rb.has_deadline) return ra.has_deadline;
+                if (ra.has_deadline) return ra.deadline < rb.deadline;
+                return ra.t_submit > rb.t_submit;
+              });
+    for (std::size_t i = 0; i < n_shed; ++i) {
+      gradient_sheds_.fetch_add(1, std::memory_order_relaxed);
+      complete_terminal(
+          **cand[i],
+          Status::ResourceExhausted("overload: delay-gradient shed"));
+      cand[i]->reset();  // tombstone; compacted below
+    }
+    for (auto& entry : shed_class) {
+      auto& q = entry.second.reqs;
+      q.erase(std::remove_if(
+                  q.begin(), q.end(),
+                  [](const std::shared_ptr<detail::RequestState>& r) {
+                    return r == nullptr;
+                  }),
+              q.end());
+      if (!q.empty()) entry.second.oldest = q.front()->t_submit;
+    }
+    n_pending -= n_shed;
+  };
+  const auto controller_tick = [&] {
+    const auto now = steady_clock::now();
+    if (n_pending == 0 && shard.queue.size_approx() == 0) {
+      min_sojourn_us = 0;  // backlog fully drained inside this interval
+    } else {
+      auto oldest = steady_clock::time_point::max();
+      for (auto& per_class : pending) {
+        for (auto& entry : per_class) {
+          if (!entry.second.reqs.empty()) {
+            oldest = std::min(oldest, entry.second.oldest);
+          }
+        }
+      }
+      if (oldest != steady_clock::time_point::max()) {
+        min_sojourn_us = std::min(
+            min_sojourn_us,
+            std::chrono::duration_cast<std::chrono::microseconds>(now - oldest)
+                .count());
+      }
+    }
+    if (now < interval_end) return;
+    const bool over =
+        min_sojourn_us != kNoSample && min_sojourn_us > cfg_.target_delay_usecs;
+    if (over) {
+      if (level == 0) brownouts_.fetch_add(1, std::memory_order_relaxed);
+      level = std::min(2, level + 1);
+      if (level == 2) gradient_shed();
+    } else {
+      level = std::max(0, level - 1);
+    }
+    shard.overload_level.store(level, std::memory_order_relaxed);
+    min_sojourn_us = kNoSample;
+    interval_end = now + interval;
+  };
+
   // Flushes ready groups in (class, earliest-request-deadline, age) order
   // until none remain. The admission queue is re-drained after EVERY window:
   // that is both the priority overtake point (fresh latency work preempts a
@@ -562,6 +693,21 @@ void RequestScheduler::dispatcher_main(int s) {
       // `best == nullptr` in the class-loop condition: any ready group in a
       // lower (more urgent) class preempts the entire next class.
       for (int ci = 0; ci < nclasses && best == nullptr; ++ci) {
+        if (level >= 1 && nclasses == 2 && ci == 1) {
+          // Brownout: throughput-class batches yield whenever ANY latency
+          // work is pending — even a group that has not hit its batch
+          // deadline yet. The latency group becomes ready within
+          // batch_usecs, so the yield costs throughput at most one batch
+          // window per round while the shard is overloaded.
+          bool latency_waiting = false;
+          for (auto& entry : pending[0]) {
+            if (!entry.second.reqs.empty()) {
+              latency_waiting = true;
+              break;
+            }
+          }
+          if (latency_waiting) break;
+        }
         for (auto& entry : pending[ci]) {
           Pending& p = entry.second;
           if (p.reqs.empty() || is_starved(entry.first)) continue;
@@ -590,6 +736,14 @@ void RequestScheduler::dispatcher_main(int s) {
       } else {
         starved.push_back(best_sess);
       }
+      // Tick at every dequeue opportunity (the CoDel sampling point), not
+      // just once per dispatcher-loop iteration: a saturating burst is
+      // drained entirely inside this loop, so an outer-loop-only tick would
+      // sample the queue before the backlog forms and after it is gone —
+      // and never observe the standing delay in between. `best` is
+      // recomputed after the tick, so a gradient shed mutating the pending
+      // queues here is safe.
+      if (adaptive) controller_tick();
     }
   };
   // Idle shard: pop from siblings' queues, oldest shard first from s+1. The
@@ -615,6 +769,50 @@ void RequestScheduler::dispatcher_main(int s) {
   };
 
   while (true) {
+    // Deterministic wedge (dispatcher_stall fault site, any kind): park this
+    // thread mid-iteration — heartbeat frozen, backlog accumulating — until
+    // the watchdog's restart_dispatcher() bumps the shard generation or
+    // shutdown begins. This is exactly the failure the watchdog exists to
+    // detect; the site sits OUTSIDE any session exec mutex so failover
+    // re-warms never deadlock against the wedged thread.
+    if (common::fault::should_inject(common::fault::Site::kDispatcherStall) !=
+        common::fault::Kind::kNone) {
+      while (!stop_.load(std::memory_order_acquire) && !stale()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    if (stale()) {
+      // Replaced by a supervised restart: hand every locally pending request
+      // back through the admission queue for the new dispatcher, then exit
+      // without touching shard state again. The submitters_ guard is the
+      // same no-lost-work protocol submit() uses: the new dispatcher cannot
+      // conclude its shutdown drain while we are mid-handback, so either our
+      // pushes land in time to be drained or we resolve them terminally
+      // ourselves — a stranded request always gets exactly one status.
+      submitters_.fetch_add(1, std::memory_order_seq_cst);
+      const bool closed = stop_.load(std::memory_order_seq_cst);
+      for (auto& per_class : pending) {
+        for (auto& entry : per_class) {
+          for (auto& req : entry.second.reqs) {
+            if (closed || !shard.queue.try_push(req)) {
+              if (req->lane >= 0) {
+                req->session->release_lane(req->lane);
+                req->lane = -1;
+              }
+              complete_terminal(
+                  *req, Status::Unavailable("dispatcher restarted; request "
+                                            "not rescheduled"));
+            }
+          }
+          entry.second.reqs.clear();
+        }
+      }
+      wake_shard(shard);
+      submitters_.fetch_sub(1, std::memory_order_seq_cst);
+      return;
+    }
+    shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
+
     // Sample the backlog BEFORE draining/flushing (flushing empties groups,
     // so sampling after would cap the metric near max_batch). CAS-max:
     // plain check-then-store would let two shards' interleaved updates
@@ -627,6 +825,7 @@ void RequestScheduler::dispatcher_main(int s) {
 
     std::shared_ptr<detail::RequestState> r;
     drain();
+    shard.pending_pub.store(n_pending, std::memory_order_relaxed);
 
     if (stop_.load(std::memory_order_seq_cst)) {
       // Draining: force-flush every partial batch — repeatedly, because a
@@ -656,7 +855,9 @@ void RequestScheduler::dispatcher_main(int s) {
       continue;
     }
 
+    if (adaptive) controller_tick();
     flush_ready();
+    shard.pending_pub.store(n_pending, std::memory_order_relaxed);
 
     if (n_pending == 0) {
       if (can_steal) {
@@ -671,7 +872,7 @@ void RequestScheduler::dispatcher_main(int s) {
       std::atomic_thread_fence(std::memory_order_seq_cst);
       shard.wake_cv.wait(lk, [&] {
         return shard.queue.size_approx() > 0 ||
-               stop_.load(std::memory_order_acquire) ||
+               stop_.load(std::memory_order_acquire) || stale() ||
                (can_steal &&
                 shard.steal_hint.load(std::memory_order_acquire));
       });
@@ -730,7 +931,7 @@ void RequestScheduler::dispatcher_main(int s) {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     shard.wake_cv.wait_until(lk, earliest, [&] {
       return shard.queue.size_approx() > 0 ||
-             stop_.load(std::memory_order_acquire);
+             stop_.load(std::memory_order_acquire) || stale();
     });
     shard.parked.store(false, std::memory_order_relaxed);
   }
@@ -741,10 +942,67 @@ void RequestScheduler::shutdown() {
   for (auto& shard : shards_) wake_shard(*shard);
   bool expected = false;
   if (joined_.compare_exchange_strong(expected, true)) {
+    // restart_mu_ held across the joins: restart_dispatcher() either
+    // completes before we take it (its replacement thread is in shards_ /
+    // retired_ and gets joined) or takes it after stop_ is set and refuses.
+    std::lock_guard<std::mutex> g(restart_mu_);
     for (auto& shard : shards_) {
       if (shard->dispatcher.joinable()) shard->dispatcher.join();
     }
+    for (auto& t : retired_) {
+      if (t.joinable()) t.join();
+    }
+    retired_.clear();
   }
+}
+
+std::uint64_t RequestScheduler::shard_heartbeat(int s) const {
+  if (s < 0 || s >= shard_count()) return 0;
+  return shards_[static_cast<std::size_t>(s)]->heartbeat.load(
+      std::memory_order_acquire);
+}
+
+std::size_t RequestScheduler::shard_backlog(int s) const {
+  if (s < 0 || s >= shard_count()) return 0;
+  const Shard& shard = *shards_[static_cast<std::size_t>(s)];
+  return shard.queue.size_approx() +
+         shard.pending_pub.load(std::memory_order_relaxed);
+}
+
+bool RequestScheduler::shard_quarantined(int s) const {
+  if (s < 0 || s >= shard_count()) return false;
+  return shards_[static_cast<std::size_t>(s)]->quarantined.load(
+      std::memory_order_acquire);
+}
+
+void RequestScheduler::set_shard_quarantined(int s, bool q) {
+  if (s < 0 || s >= shard_count()) return;
+  shards_[static_cast<std::size_t>(s)]->quarantined.store(
+      q, std::memory_order_release);
+}
+
+int RequestScheduler::overload_level(int s) const {
+  if (s < 0 || s >= shard_count()) return 0;
+  return shards_[static_cast<std::size_t>(s)]->overload_level.load(
+      std::memory_order_relaxed);
+}
+
+bool RequestScheduler::restart_dispatcher(int s) {
+  if (s < 0 || s >= shard_count()) return false;
+  Shard& shard = *shards_[static_cast<std::size_t>(s)];
+  std::lock_guard<std::mutex> g(restart_mu_);
+  if (stop_.load(std::memory_order_seq_cst)) return false;
+  // Bumping the generation (a) releases a thread wedged at the
+  // dispatcher_stall fault point and (b) marks the old thread stale: it
+  // hands its local pending work back through the queue and exits instead
+  // of racing the replacement on shard state.
+  const std::uint64_t gen =
+      shard.generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+  wake_shard(shard);  // a parked stale thread must observe the bump
+  retired_.push_back(std::move(shard.dispatcher));
+  shard.dispatcher = std::thread([this, s, gen] { dispatcher_main(s, gen); });
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::vector<ModelStats> RequestScheduler::stats() const {

@@ -120,6 +120,18 @@ struct SchedulerConfig {
   // sessions, which always run monolithically.
   int decode_step_tokens = 1;
 
+  // PLT_SERVE_TARGET_DELAY_USECS: adaptive overload control (0 = off, the
+  // fixed queue-cap behaviour). When on, each dispatcher runs a CoDel-style
+  // delay-gradient controller on its standing backlog: if the MINIMUM
+  // head-of-line sojourn over a controller interval stays above this target
+  // the shard first BROWNS OUT (throughput-class groups yield to any pending
+  // latency work and new steppable submits get a halved decode window) and,
+  // if the backlog still does not drain, sheds throughput-class queued
+  // requests kResourceExhausted — earliest-to-miss-deadline first, so the
+  // work least likely to make its deadline goes before work that still can.
+  // Latency-class requests are never gradient-shed; their p95 degrades last.
+  std::int64_t target_delay_usecs = 0;
+
   // Reads the PLT_SERVE_* environment knobs (range-validated; bad values
   // warn and fall back to the defaults above).
   static SchedulerConfig from_env();
@@ -206,11 +218,15 @@ struct RequestState {
   bool admitted = false;     // false: refused/shed at submit (ok() is false)
   RequestClass cls = RequestClass::kThroughput;  // resolved at submit
   // Continuous batching (dispatcher-owned, only ever touched by the shard
-  // that holds the request): completed steps, total steps at the scheduler's
+  // that holds the request): completed steps, total steps at the request's
   // decode granularity (1 = monolithic), and the exclusively-held session
-  // lane for steps_total > 1 (-1 until acquired before step 0).
+  // lane for steps_total > 1 (-1 until acquired before step 0). step_tokens
+  // is resolved at submit — normally the scheduler's configured granularity,
+  // halved under brownout — and stays fixed for the request's lifetime so
+  // its step accounting is self-consistent.
   int step = 0;
   int steps_total = 1;
+  int step_tokens = 0;
   int lane = -1;
   Status status;             // terminal status; written before done's release
   double latency_us = 0.0;   // written by the dispatcher before done
@@ -328,6 +344,51 @@ class RequestScheduler {
     return queue_highwater_.load(std::memory_order_relaxed);
   }
 
+  // ---- Watchdog / supervision surface (serving::Watchdog) ----------------
+
+  // Monotone liveness counter for shard s's dispatcher: advances once per
+  // dispatcher loop iteration. A dispatcher whose heartbeat stops while
+  // shard_backlog(s) > 0 is wedged (a parked dispatcher with an empty shard
+  // is NOT — its backlog is zero).
+  std::uint64_t shard_heartbeat(int s) const;
+
+  // Approximate backlog owned by shard s: admission-queue depth plus the
+  // dispatcher-local pending count it last published.
+  std::size_t shard_backlog(int s) const;
+
+  // Watchdog quarantine: while set, submit() reroutes shard s's admissions
+  // to the next healthy shard. Requests already queued on s stay there for
+  // the restarted dispatcher to drain — they are never dropped by the flag.
+  bool shard_quarantined(int s) const;
+  void set_shard_quarantined(int s, bool q);
+
+  // Supervised dispatcher restart: bumps the shard's generation (releasing a
+  // thread wedged at the dispatcher_stall fault point — the stale thread
+  // re-enqueues its local pending work and exits), retires the old thread
+  // for joining at shutdown, and starts a fresh dispatcher on the same
+  // shard. Returns false after shutdown has begun. Thread-safe.
+  bool restart_dispatcher(int s);
+
+  // Total supervised restarts performed (restart_dispatcher calls that ran).
+  std::uint64_t dispatcher_restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+
+  // ---- Overload-controller observability ---------------------------------
+
+  // Current delay-gradient level of shard s (0 normal / 1 brownout / 2
+  // shedding); 0 when adaptive overload control is off.
+  int overload_level(int s) const;
+  // Times any shard escalated from normal into brownout (level 0 -> 1).
+  std::uint64_t overload_brownouts() const {
+    return brownouts_.load(std::memory_order_relaxed);
+  }
+  // Requests shed by the delay-gradient controller (a subset of
+  // counters().shed — gradient sheds stay inside the terminal accounting).
+  std::uint64_t overload_sheds() const {
+    return gradient_sheds_.load(std::memory_order_relaxed);
+  }
+
  private:
   // One same-session micro-batch group. A deque because continuous batching
   // re-admits unfinished stepped requests at the FRONT (they own lanes and
@@ -357,10 +418,31 @@ class RequestScheduler {
     // missed nudge costs nothing, the home dispatcher drains its own queue.
     std::atomic<bool> steal_hint{false};
     std::atomic<std::uint64_t> stolen{0};  // requests taken from siblings
+    // Liveness surface for the watchdog. heartbeat advances once per
+    // dispatcher loop iteration — a wedged dispatcher (stalled inside an
+    // iteration) stops advancing it while pending_pub + the queue stay
+    // non-empty, which is exactly the signature the watchdog flags.
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<std::size_t> pending_pub{0};  // dispatcher-local backlog
+    // Quarantined by the watchdog: submit() reroutes new admissions to the
+    // next healthy shard (executed there under the thief rules: session exec
+    // mutex + the thief's partition). Cleared when progress resumes.
+    std::atomic<bool> quarantined{false};
+    // Supervised-restart epoch. A dispatcher thread is born with a
+    // generation; restart_dispatcher() bumps it, which (a) releases a thread
+    // wedged at the dispatcher_stall fault point and (b) tells the stale
+    // thread to hand its local pending work back to the queue and exit
+    // instead of racing the replacement.
+    std::atomic<std::uint64_t> generation{0};
+    // Delay-gradient overload level published by the dispatcher:
+    // 0 = normal, 1 = brownout, 2 = gradient shedding (see
+    // SchedulerConfig::target_delay_usecs). submit() reads it to shrink the
+    // decode window of new steppable requests under brownout.
+    std::atomic<int> overload_level{0};
     std::thread dispatcher;
   };
 
-  void dispatcher_main(int s);
+  void dispatcher_main(int s, std::uint64_t generation);
   void execute_batch(int s, Session* session,
                      std::vector<std::shared_ptr<detail::RequestState>> reqs,
                      std::size_t pending_highwater);
@@ -381,6 +463,17 @@ class RequestScheduler {
 
   SchedulerConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Supervised-restart bookkeeping: restart_mu_ serializes restarts against
+  // each other and against shutdown's join; retired_ holds replaced
+  // dispatcher threads (wedged or stale) until shutdown joins them.
+  std::mutex restart_mu_;
+  std::vector<std::thread> retired_;
+  std::atomic<std::uint64_t> restarts_{0};
+
+  // Overload-controller counters (see overload_brownouts/overload_sheds).
+  std::atomic<std::uint64_t> brownouts_{0};
+  std::atomic<std::uint64_t> gradient_sheds_{0};
 
   std::atomic<bool> stop_{false};
   std::atomic<int> submitters_{0};  // producers currently inside submit()

@@ -115,12 +115,16 @@ void Session::release_lane(int lane) {
 
 void Session::pin_partition(int p, bool first_touch) {
   if (p < 0) return;
-  // Normalize against the real partition count: run_on() would wrap an
-  // out-of-range index anyway, but pin_caller_to_partition would silently
-  // no-op on it and partition() would report a sub-team that never runs
-  // this session's batches.
-  p %= std::max(1, pool_partitions());
+  // Stored RAW, like pin_partition_if_unpinned: the scheduler homes the
+  // session on shard (p % nshards), and a sharded scheduler may run more
+  // shards than the pool has partitions (every executor wraps p modulo the
+  // real partition count before dispatch). Normalizing here would collapse
+  // the shard-homing domain to the partition count — on a 1-partition pool
+  // that would make it impossible to re-home a session off shard 0, which
+  // is exactly what watchdog failover must do. Only the warmup below needs
+  // the real partition index.
   partition_.store(p, std::memory_order_release);
+  p %= std::max(1, pool_partitions());
   if (!first_touch || runtime() != Runtime::kPool) return;
   if (ThreadPool::instance().partitions() <= 1) return;
   // Warmup on the owning partition: lanes are spread over its sub-team so

@@ -157,6 +157,50 @@ TEST(Fault, FirePointThrowsRuntimeErrorWithSiteName) {
   EXPECT_EQ(fault::fire_point(fault::Site::kQueuePush), fault::Kind::kFull);
 }
 
+TEST(Fault, ParsesSupervisionSites) {
+  FaultReset cleanup;
+  fault::configure("dispatcher_stall:fail:1.0;conn_accept:fail:1.0", 3);
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_EQ(fault::should_inject(fault::Site::kDispatcherStall),
+            fault::Kind::kFail);
+  EXPECT_EQ(fault::should_inject(fault::Site::kConnAccept),
+            fault::Kind::kFail);
+}
+
+TEST(Fault, MaxFiresCapsInjectionExactly) {
+  FaultReset cleanup;
+  fault::configure("dispatcher_stall:fail:1.0:3", 11);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (fault::should_inject(fault::Site::kDispatcherStall) !=
+        fault::Kind::kNone) {
+      ++fired;
+    }
+  }
+  // Exactly-N semantics: the cap is a hard ceiling, and injected() counts
+  // only the draws that actually fired.
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(fault::injected(fault::Site::kDispatcherStall), 3u);
+  EXPECT_EQ(fault::evaluated(fault::Site::kDispatcherStall), 100u);
+}
+
+TEST(Fault, MaxFiresMalformedFourthFieldDropsTriple) {
+  FaultReset cleanup;
+  for (const char* bad :
+       {"kernel_exec:throw:1.0:", "kernel_exec:throw:1.0:-1",
+        "kernel_exec:throw:1.0:abc", "kernel_exec:throw:1.0:2junk"}) {
+    fault::configure(bad, 1);
+    EXPECT_FALSE(fault::enabled()) << bad;
+  }
+  // Zero means unlimited, same as omitting the field.
+  fault::configure("kernel_exec:throw:1.0:0", 1);
+  ASSERT_TRUE(fault::enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fault::should_inject(fault::Site::kKernelExec),
+              fault::Kind::kThrow);
+  }
+}
+
 TEST(Fault, ResetDisarms) {
   FaultReset cleanup;
   fault::configure("kernel_exec:throw:1.0", 5);

@@ -1207,5 +1207,403 @@ TEST(NetServing, ReloadStormServesEveryVersionBitwiseCorrect) {
   EXPECT_EQ(c.expired + c.shed + c.rejected, 0u);
 }
 
+// --- health + drain (wire v2) ------------------------------------------------
+
+TEST(WireCodec, HealthFramesRoundTripAndTruncationNeedsMore) {
+  HealthFrame probe;
+  probe.request_id = 0xABCDEF0123456789ull;
+  std::vector<std::uint8_t> req_bytes;
+  encode_health_request(probe, &req_bytes);
+
+  HealthFrame probe2;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(decode_health_request(req_bytes.data(), req_bytes.size(), &probe2,
+                                  &consumed, &error),
+            DecodeResult::kOk)
+      << error;
+  EXPECT_EQ(consumed, req_bytes.size());
+  EXPECT_EQ(probe2.request_id, probe.request_id);
+
+  HealthResponseFrame h;
+  h.request_id = probe.request_id;
+  h.draining = true;
+  h.submitted = 100;
+  h.completed = 90;
+  h.failed = 1;
+  h.expired = 2;
+  h.shed = 3;
+  h.rejected = 4;
+  ShardHealth s0;
+  s0.queue_depth = 17;
+  s0.quarantined = true;
+  s0.overload_level = 2;
+  s0.heartbeat = 0x1111222233334444ull;
+  h.shards.push_back(s0);
+  h.shards.push_back(ShardHealth{});
+  std::vector<std::uint8_t> bytes;
+  encode_health_response(h, &bytes);
+
+  // Every strict prefix is a valid partial frame, never an error.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    HealthResponseFrame partial;
+    EXPECT_EQ(decode_health_response(bytes.data(), len, &partial, &consumed,
+                                     &error),
+              DecodeResult::kNeedMore)
+        << "prefix length " << len;
+  }
+
+  HealthResponseFrame got;
+  ASSERT_EQ(decode_health_response(bytes.data(), bytes.size(), &got, &consumed,
+                                   &error),
+            DecodeResult::kOk)
+      << error;
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(got.request_id, h.request_id);
+  EXPECT_TRUE(got.draining);
+  EXPECT_EQ(got.submitted, 100u);
+  EXPECT_EQ(got.completed, 90u);
+  EXPECT_EQ(got.failed, 1u);
+  EXPECT_EQ(got.expired, 2u);
+  EXPECT_EQ(got.shed, 3u);
+  EXPECT_EQ(got.rejected, 4u);
+  ASSERT_EQ(got.shards.size(), 2u);
+  EXPECT_EQ(got.shards[0].queue_depth, 17u);
+  EXPECT_TRUE(got.shards[0].quarantined);
+  EXPECT_EQ(got.shards[0].overload_level, 2);
+  EXPECT_EQ(got.shards[0].heartbeat, s0.heartbeat);
+  EXPECT_FALSE(got.shards[1].quarantined);
+}
+
+// A live server answers health probes with the scheduler's terminal counters
+// and one record per shard; the draining flag flips after begin_drain() while
+// probes keep being served.
+TEST(NetServing, HealthProbeReportsCountersShardsAndDraining) {
+  serving::SchedulerConfig cfg;
+  cfg.shards = 2;
+  serving::ModelRegistry reg;
+  reg.add(serving::make_mlp_session("mlp", tiny_mlp(), 4, 7));
+  serving::RequestScheduler sched(cfg);
+  Server server(reg, sched, ServerConfig{});
+  ASSERT_TRUE(server.start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).ok());
+
+  HealthResponseFrame h;
+  ASSERT_TRUE(client.health(&h, /*request_id=*/7).ok());
+  EXPECT_EQ(h.request_id, 7u);
+  EXPECT_FALSE(h.draining);
+  ASSERT_EQ(h.shards.size(), 2u);
+  EXPECT_EQ(h.submitted, 0u);
+
+  const auto mlp = reg.find("mlp");
+  RequestFrame req;
+  req.request_id = 1;
+  req.name = "mlp";
+  req.payload = make_input(*mlp, 3);
+  ResponseFrame resp;
+  ASSERT_TRUE(client.call(req, &resp).ok());
+  ASSERT_EQ(resp.code, WireCode::kOk) << resp.message;
+
+  ASSERT_TRUE(client.health(&h, 8).ok());
+  EXPECT_EQ(h.submitted, 1u);
+  EXPECT_EQ(h.completed, 1u);
+  for (const auto& sh : h.shards) {
+    EXPECT_FALSE(sh.quarantined);
+    EXPECT_EQ(sh.overload_level, 0);
+  }
+
+  // Draining servers still answer probes — that is how an orchestrator
+  // watches the flush — with the flag set.
+  server.begin_drain();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool saw_draining = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(client.health(&h, 9).ok());
+    if (h.draining) {
+      saw_draining = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(saw_draining);
+
+  server.stop();
+  sched.shutdown();
+  EXPECT_GE(server.stats().health_frames, 3u);
+}
+
+// The ISSUE drain scenario: begin_drain() under live pipelined mixed-class
+// traffic. The listen port is released immediately (a replacement can bind),
+// NEW submits answer UNAVAILABLE "draining", and every in-flight request
+// still resolves with exactly one terminal status and a whole frame.
+TEST(NetServing, DrainUnderLoadFlushesInFlightAndReleasesPort) {
+  auto blocker = std::make_shared<BlockingSession>("blocker");
+  serving::ModelRegistry reg;
+  reg.add(blocker);
+  serving::SchedulerConfig cfg;
+  cfg.shards = 1;
+  cfg.max_batch = 4;
+  cfg.batch_usecs = 0;
+  serving::RequestScheduler sched(cfg);
+  Server server(reg, sched, ServerConfig{});
+  ASSERT_TRUE(server.start().ok());
+  const int port = server.port();
+
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", port).ok());
+  constexpr int kInFlight = 6;
+  for (int i = 1; i <= kInFlight; ++i) {
+    RequestFrame req;
+    req.request_id = static_cast<std::uint64_t>(i);
+    req.name = "blocker";
+    req.cls = static_cast<std::uint16_t>(i % 2);  // mixed latency/throughput
+    req.payload = {1, 2, 3, 4};
+    ASSERT_TRUE(client.send_request(req).ok());
+  }
+  // All six are owned by the scheduler (first batch parked inside run(), the
+  // rest pending behind it) before the drain begins.
+  ASSERT_TRUE(await_counter(
+      sched, &serving::RequestScheduler::Counters::submitted, kInFlight));
+  blocker->await_entered();
+
+  server.begin_drain();
+  EXPECT_TRUE(server.draining());
+
+  // The listen port is released while in-flight work still flushes: a
+  // replacement server can bind it. Poll — the drain hand-off happens on the
+  // loop thread.
+  int rebind = -1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    rebind = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(rebind, 0);
+    const int one = 1;
+    ::setsockopt(rebind, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::bind(rebind, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    ::close(rebind);
+    rebind = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(rebind, 0) << "listen port was not released during drain";
+  if (rebind >= 0) ::close(rebind);
+
+  // A NEW submit on the still-open connection answers UNAVAILABLE
+  // "draining" — and because the in-flight batch is parked, that reject is
+  // the first response on the stream.
+  RequestFrame late;
+  late.request_id = 100;
+  late.name = "blocker";
+  late.payload = {1, 2, 3, 4};
+  ASSERT_TRUE(client.send_request(late).ok());
+  ResponseFrame resp;
+  ASSERT_TRUE(client.recv_response(&resp).ok());
+  EXPECT_EQ(resp.request_id, 100u);
+  EXPECT_EQ(resp.code, WireCode::kUnavailable);
+  EXPECT_NE(resp.message.find("draining"), std::string::npos);
+
+  // Release the parked batch: the drain must now flush every in-flight
+  // response — whole frames, exactly one per request — and exit the loop.
+  blocker->release();
+  std::vector<bool> seen(kInFlight + 1, false);
+  for (int i = 0; i < kInFlight; ++i) {
+    ASSERT_TRUE(client.recv_response(&resp).ok()) << "response " << i;
+    ASSERT_GE(resp.request_id, 1u);
+    ASSERT_LE(resp.request_id, static_cast<std::uint64_t>(kInFlight));
+    EXPECT_FALSE(seen[static_cast<std::size_t>(resp.request_id)])
+        << "duplicate terminal status for request " << resp.request_id;
+    seen[static_cast<std::size_t>(resp.request_id)] = true;
+    EXPECT_EQ(resp.code, WireCode::kOk) << resp.message;
+    ASSERT_EQ(resp.payload.size(), 4u);
+    EXPECT_EQ(resp.payload[0], 2.0f);  // in[0] + 1
+  }
+
+  server.stop();
+  sched.shutdown();
+  const auto st = server.stats();
+  EXPECT_GE(st.drain_rejected, 1u);
+  const auto c = sched.counters();
+  EXPECT_EQ(c.submitted, static_cast<std::uint64_t>(kInFlight));
+  EXPECT_EQ(c.completed, static_cast<std::uint64_t>(kInFlight));
+  EXPECT_EQ(c.completed + c.failed + c.expired + c.shed + c.rejected,
+            c.submitted);
+}
+
+// --- client hardening ---------------------------------------------------------
+
+// A peer that accepts but never answers can no longer wedge the client:
+// SO_RCVTIMEO surfaces as kDeadlineExceeded (which is never retried — the
+// caller's clock, not the transport's).
+TEST(NetClient, TimeoutOnSilentPeerReturnsDeadlineExceeded) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 8), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  const int port = ntohs(addr.sin_port);
+
+  ClientConfig cc;
+  cc.timeout_usecs = 50000;  // 50 ms
+  cc.max_retries = 3;        // must NOT fire: deadline is not retryable
+  Client client(cc);
+  ASSERT_TRUE(client.connect("127.0.0.1", port).ok());
+
+  RequestFrame req;
+  req.request_id = 1;
+  req.name = "nobody";
+  req.payload = {1.0f};
+  ResponseFrame resp;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = client.call(req, &resp);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.to_string();
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_EQ(client.retries(), 0u);
+  EXPECT_FALSE(client.connected());  // a torn stream is unrecoverable
+  ::close(lfd);
+}
+
+// conn_accept chaos: the server slams the door on the first two accepted
+// connections; call() reconnects and replays the SAME request id until a
+// healthy accept goes through, and the request executes exactly once.
+TEST(NetClient, RetriesThroughConnAcceptFaultsWithSameRequestId) {
+  FaultScope chaos("conn_accept:fail:1.0:2", 17);
+  serving::SchedulerConfig cfg;
+  cfg.shards = 1;
+  serving::ModelRegistry reg;
+  reg.add(serving::make_mlp_session("mlp", tiny_mlp(), 4, 7));
+  serving::RequestScheduler sched(cfg);
+  Server server(reg, sched, ServerConfig{});
+  ASSERT_TRUE(server.start().ok());
+  const auto mlp = reg.find("mlp");
+
+  ClientConfig cc;
+  cc.timeout_usecs = 2000000;
+  cc.max_retries = 5;
+  cc.backoff_usecs = 500;
+  Client client(cc);
+  // The TCP handshake completes against the backlog even when the server
+  // closes the socket straight after accepting — the failure surfaces on
+  // the first round trip, which is what the retry loop covers.
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).ok());
+
+  RequestFrame req;
+  req.request_id = 99;
+  req.name = "mlp";
+  req.payload = make_input(*mlp, 5);
+  ResponseFrame resp;
+  const Status st = client.call(req, &resp);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(resp.code, WireCode::kOk) << resp.message;
+  EXPECT_EQ(resp.request_id, 99u);
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_EQ(fault::injected(fault::Site::kConnAccept), 2u);
+
+  server.stop();
+  sched.shutdown();
+  EXPECT_GE(server.stats().conn_rejected, 2u);
+  // Replays never double-executed: one submit, one completion.
+  EXPECT_EQ(sched.counters().submitted, 1u);
+  EXPECT_EQ(sched.counters().completed, 1u);
+}
+
+// Consecutive transport failures open the circuit breaker; while open,
+// call() fails fast without touching the socket.
+TEST(NetClient, CircuitBreakerOpensAfterConsecutiveTransportFailures) {
+  // Grab a loopback port with nothing listening on it: bind, read it back,
+  // close. (Racy in principle, deterministic in practice for a test run.)
+  const int tmp = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(tmp, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(tmp, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(tmp, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  const int dead_port = ntohs(addr.sin_port);
+  ::close(tmp);
+
+  ClientConfig cc;
+  cc.breaker_fails = 2;
+  cc.breaker_cooldown_usecs = 60000000;  // 60 s: stays open for the test
+  Client client(cc);
+  EXPECT_FALSE(client.connect("127.0.0.1", dead_port).ok());
+  EXPECT_FALSE(client.breaker_open());  // one failure: below the threshold
+  EXPECT_FALSE(client.connect("127.0.0.1", dead_port).ok());
+  EXPECT_TRUE(client.breaker_open());
+  EXPECT_EQ(client.breaker_trips(), 1u);
+
+  RequestFrame req;
+  req.request_id = 1;
+  req.name = "x";
+  req.payload = {1.0f};
+  ResponseFrame resp;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = client.call(req, &resp);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("circuit breaker open"), std::string::npos)
+      << st.to_string();
+  // Fail-fast means no connect attempt, no socket timeout: microseconds,
+  // bounded loosely here.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(1));
+  EXPECT_EQ(client.breaker_trips(), 1u);  // an open breaker does not re-trip
+}
+
+// --- bounded quota map --------------------------------------------------------
+
+// At the max_tenants cap the LRU bucket is evicted — preferring one whose
+// idle accrual has refilled it (lossless: its tenant returns to a fresh full
+// bucket, the exact state it was evicted in). Synthetic time points make the
+// scan deterministic.
+TEST(TenantQuota, BoundedMapEvictsLruIdleFullBucketFirst) {
+  TenantQuota q(/*qps=*/1000.0, /*burst=*/1.0, /*max_tenants=*/4);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t t = 1; t <= 4; ++t) {
+    EXPECT_TRUE(q.admit(t, t0));
+  }
+  EXPECT_EQ(q.tracked_tenants(), 4u);
+  EXPECT_EQ(q.evicted(), 0u);
+
+  // One second later every bucket has refilled: the LRU tail (tenant 1) is
+  // idle-full and is the lossless victim.
+  const auto t1 = t0 + std::chrono::seconds(1);
+  EXPECT_TRUE(q.admit(5, t1));
+  EXPECT_EQ(q.evicted(), 1u);
+  EXPECT_EQ(q.tracked_tenants(), 4u);
+
+  // The evicted tenant returns to a fresh full bucket — admitted exactly as
+  // if the bucket had never been dropped (and evicting for it keeps the map
+  // at the cap).
+  EXPECT_TRUE(q.admit(1, t1));
+  EXPECT_EQ(q.evicted(), 2u);
+  EXPECT_EQ(q.tracked_tenants(), 4u);
+
+  // With zero idle time none of the scanned buckets is full (every token
+  // was just spent): the absolute LRU tail is taken instead — the map stays
+  // bounded no matter what.
+  TenantQuota cold(/*qps=*/1000.0, /*burst=*/1.0, /*max_tenants=*/2);
+  EXPECT_TRUE(cold.admit(1, t0));
+  EXPECT_TRUE(cold.admit(2, t0));
+  EXPECT_TRUE(cold.admit(3, t0));
+  EXPECT_EQ(cold.evicted(), 1u);
+  EXPECT_EQ(cold.tracked_tenants(), 2u);
+}
+
 }  // namespace
 }  // namespace plt::net
